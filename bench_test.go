@@ -1,0 +1,405 @@
+package samrpart_test
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus the design-choice ablations and micro-benchmarks of the core
+// components. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The figure/table benches execute the corresponding experiment from
+// internal/exp and report the headline quantities as custom metrics
+// (seconds of *virtual* cluster time, improvement percentages), so a bench
+// run doubles as a reproduction run.
+
+import (
+	"math/rand"
+	"testing"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/exp"
+	"samrpart/internal/geom"
+	"samrpart/internal/hdda"
+	"samrpart/internal/partition"
+	"samrpart/internal/sfc"
+	"samrpart/internal/solver"
+)
+
+// BenchmarkFig7ExecutionTime regenerates Figure 7 and Table I: total
+// execution time of the RM3D workload under both partitioners for
+// P = 4..32. Reported metrics: measured improvement (%) at P=4 and P=32
+// (paper: 7% and 18%).
+func BenchmarkFig7ExecutionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig7TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].ImprovementPct, "improv4_%")
+		b.ReportMetric(r.Rows[3].ImprovementPct, "improv32_%")
+		b.ReportMetric(r.Rows[3].HeteroSec, "hetero32_s")
+		b.ReportMetric(r.Rows[3].DefaultSec, "default32_s")
+	}
+}
+
+// BenchmarkFig8DefaultAssignment regenerates Figure 8: per-regrid work
+// assignment of the default partitioner at fixed capacities 16/19/31/34%.
+// Metric: the default scheme's mean max imbalance (paper: large, up to
+// ~100%).
+func BenchmarkFig8DefaultAssignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig8to10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Default.MeanMaxImbalance(), "default_imb_%")
+	}
+}
+
+// BenchmarkFig9HeteroAssignment regenerates Figure 9: per-regrid work
+// assignment of ACEHeterogeneous at the same fixed capacities. Metric: its
+// mean max imbalance (paper: bounded by the splitting constraints, <40%).
+func BenchmarkFig9HeteroAssignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig8to10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Hetero.MeanMaxImbalance(), "hetero_imb_%")
+	}
+}
+
+// BenchmarkFig10Imbalance regenerates Figure 10: the imbalance comparison
+// of both schemes. Metric: default-to-hetero mean imbalance ratio (>1).
+func BenchmarkFig10Imbalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig8to10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Default.MeanMaxImbalance(), "default_imb_%")
+		b.ReportMetric(r.Hetero.MeanMaxImbalance(), "hetero_imb_%")
+	}
+}
+
+// BenchmarkFig11DynamicSensing regenerates Figure 11: dynamic allocation
+// with sensing once before the start plus twice during the run. Metrics:
+// number of sensing sweeps and the final-to-first work ratio on the loaded
+// node (<1: allocation adapted away from it).
+func BenchmarkFig11DynamicSensing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs := r.Trace.Records
+		first, last := recs[0], recs[len(recs)-1]
+		b.ReportMetric(float64(r.Trace.Senses), "senses")
+		b.ReportMetric(last.Work[0]/first.Work[0], "node0_work_ratio")
+	}
+}
+
+// BenchmarkTable2DynamicVsStatic regenerates Table II: execution time with
+// dynamic sensing (every 40 iterations) vs sensing only once, P = 2..8.
+// Metrics: measured gains at P=2 and P=8 (paper: ~47% and ~48%).
+func BenchmarkTable2DynamicVsStatic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		g2 := (r.Rows[0].StaticSec - r.Rows[0].DynamicSec) / r.Rows[0].StaticSec * 100
+		g8 := (r.Rows[3].StaticSec - r.Rows[3].DynamicSec) / r.Rows[3].StaticSec * 100
+		b.ReportMetric(g2, "gain2_%")
+		b.ReportMetric(g8, "gain8_%")
+	}
+}
+
+// BenchmarkTable3SensingFrequency regenerates Table III: execution time at
+// sensing frequencies 10/20/30/40 iterations. Metric: the optimal
+// frequency (paper: 20) and the exec time at it.
+func BenchmarkTable3SensingFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Best()), "best_freq_iters")
+		for _, row := range r.Rows {
+			if row.SenseEvery == 20 {
+				b.ReportMetric(row.ExecSec, "exec20_s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig12to15SensingTraces regenerates Figures 12-15: the dynamic
+// allocation traces underlying the Table III sweep. Metric: regrid count of
+// the densest trace.
+func BenchmarkFig12to15SensingTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Rows[0].Trace.Records)), "regrids_at_freq10")
+	}
+}
+
+// BenchmarkAblationWeights sweeps the capacity-weight presets.
+func BenchmarkAblationWeights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.AblationWeights()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].ExecSec, "equal_s")
+		b.ReportMetric(r.Rows[1].ExecSec, "computebiased_s")
+	}
+}
+
+// BenchmarkAblationSplitting compares the §5.3 splitting rules against the
+// §8 any-axis proposal and a no-splitting baseline.
+func BenchmarkAblationSplitting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.AblationSplitting()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].ExecSec, "paper_s")
+		b.ReportMetric(r.Rows[len(r.Rows)-1].ExecSec, "nosplit_s")
+	}
+}
+
+// BenchmarkAblationSFC compares Hilbert vs Morton ordering in the default
+// composite partitioner.
+func BenchmarkAblationSFC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.AblationSFC()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].ExecSec, "hilbert_s")
+		b.ReportMetric(r.Rows[1].ExecSec, "morton_s")
+	}
+}
+
+// BenchmarkAblationForecaster compares monitor forecasters under the
+// Table III dynamics.
+func BenchmarkAblationForecaster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.AblationForecaster()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Variant == "last" {
+				b.ReportMetric(row.ExecSec, "last_s")
+			}
+			if row.Variant == "mean" {
+				b.ReportMetric(row.ExecSec, "mean_s")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationGranularity sweeps the clustering minimum box side.
+func BenchmarkAblationGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.AblationGranularity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].MeanImb, "fine_imb_%")
+		b.ReportMetric(r.Rows[len(r.Rows)-1].MeanImb, "coarse_imb_%")
+	}
+}
+
+// BenchmarkAblationLocality compares the partitioner family on
+// redistribution volume and balance.
+func BenchmarkAblationLocality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.AblationLocality()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].MovedMB, "hetero_moved_MB")
+		b.ReportMetric(r.Rows[1].MovedMB, "sfchetero_moved_MB")
+	}
+}
+
+// BenchmarkAblationMemoryWeights compares weight presets on a
+// memory-constrained cluster where over-assignment causes paging.
+func BenchmarkAblationMemoryWeights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.AblationMemoryWeights()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].ExecSec, "computebiased_s")
+		b.ReportMetric(r.Rows[2].ExecSec, "membiased_s")
+	}
+}
+
+// BenchmarkHeterogeneitySweep measures how the system-sensitive advantage
+// grows with the degree of heterogeneity (the paper's central expectation).
+func BenchmarkHeterogeneitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.HeterogeneitySweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].ImprovementPct, "improv_idle_%")
+		b.ReportMetric(r.Rows[len(r.Rows)-1].ImprovementPct, "improv_80load_%")
+	}
+}
+
+// BenchmarkMixedHardware measures the system-sensitive win from pure
+// hardware heterogeneity (two workstation generations, no load).
+func BenchmarkMixedHardware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.MixedHardware()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ImprovementPct, "improv_%")
+	}
+}
+
+// BenchmarkScalability runs the strong-scaling study on an idle cluster.
+func BenchmarkScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Scalability()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[3].Speedup, "speedup8")
+		b.ReportMetric(r.Rows[5].Speedup, "speedup32")
+	}
+}
+
+// --- Component micro-benchmarks -----------------------------------------
+
+// benchBoxList builds a realistic multi-level list of n boxes.
+func benchBoxList(n int) geom.BoxList {
+	r := rand.New(rand.NewSource(42))
+	var out geom.BoxList
+	strip := make([]int, 3)
+	for i := 0; i < n; i++ {
+		lvl := r.Intn(3)
+		x := strip[lvl] * 40
+		strip[lvl]++
+		y, z := r.Intn(24), r.Intn(24)
+		out = append(out, geom.Box3(x, y, z, x+7+r.Intn(24), y+7, z+7).WithLevel(lvl))
+	}
+	return out
+}
+
+// BenchmarkPartitionHetero measures ACEHeterogeneous on a 512-box list
+// over 32 nodes.
+func BenchmarkPartitionHetero(b *testing.B) {
+	boxes := benchBoxList(512)
+	caps := partition.UniformCaps(32)
+	work := partition.SubcycledWork(2)
+	p := partition.NewHetero()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Partition(boxes, caps, work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionComposite measures the SFC-based default on the same
+// list.
+func BenchmarkPartitionComposite(b *testing.B) {
+	boxes := benchBoxList(512)
+	caps := partition.UniformCaps(32)
+	work := partition.SubcycledWork(2)
+	p := partition.NewComposite(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Partition(boxes, caps, work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBergerRigoutsos measures clustering of a flagged shock plane on
+// the RM3D base grid.
+func BenchmarkBergerRigoutsos(b *testing.B) {
+	f := amr.NewFlagField(geom.Box3(0, 0, 0, 127, 31, 31))
+	for x := 40; x <= 47; x++ {
+		for y := 0; y <= 31; y++ {
+			for z := 0; z <= 31; z++ {
+				f.Set(geom.Pt3(x, y, z))
+			}
+		}
+	}
+	opts := amr.DefaultClusterOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := amr.Cluster(f, f.Box, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHilbertIndex measures 3D Hilbert index evaluation.
+func BenchmarkHilbertIndex(b *testing.B) {
+	h := sfc.Hilbert{}
+	for i := 0; i < b.N; i++ {
+		_ = h.Index(geom.Pt3(i&1023, (i>>2)&1023, (i>>4)&1023), 3, 10)
+	}
+}
+
+// BenchmarkMortonIndex measures 3D Morton index evaluation.
+func BenchmarkMortonIndex(b *testing.B) {
+	m := sfc.Morton{}
+	for i := 0; i < b.N; i++ {
+		_ = m.Index(geom.Pt3(i&1023, (i>>2)&1023, (i>>4)&1023), 3, 10)
+	}
+}
+
+// BenchmarkExtendibleHash measures HDDA directory insert+lookup.
+func BenchmarkExtendibleHash(b *testing.B) {
+	d := hdda.NewDirectory[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) * 2654435761
+		d.Put(k, i)
+		if _, ok := d.Get(k); !ok {
+			b.Fatal("lost key")
+		}
+	}
+}
+
+// BenchmarkEulerStep measures the 3D Euler kernel on a 32^3 patch
+// (cell updates per op: 32768).
+func BenchmarkEulerStep(b *testing.B) {
+	k := solver.NewRichtmyerMeshkov([geom.MaxDim]float64{1, 1, 1})
+	g := solver.UniformGrid(1.0 / 32)
+	cur := amr.NewPatch(geom.Box3(0, 0, 0, 31, 31, 31), k.Ghost(), k.NumFields())
+	next := amr.NewPatch(cur.Box, k.Ghost(), k.NumFields())
+	k.Init(cur, g)
+	solver.ApplyOutflowBC(cur)
+	dt := k.MaxDT(cur, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step(next, cur, g, dt)
+	}
+}
+
+// BenchmarkAdvectionStep measures the 2D advection kernel on a 256^2 patch.
+func BenchmarkAdvectionStep(b *testing.B) {
+	k := solver.NewAdvection2D(1, 0.5, 0.5, 0.5, 0.1)
+	g := solver.UniformGrid(1.0 / 256)
+	cur := amr.NewPatch(geom.Box2(0, 0, 255, 255), k.Ghost(), k.NumFields())
+	next := amr.NewPatch(cur.Box, k.Ghost(), k.NumFields())
+	k.Init(cur, g)
+	solver.ApplyOutflowBC(cur)
+	dt := k.MaxDT(cur, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step(next, cur, g, dt)
+	}
+}

@@ -1,0 +1,180 @@
+// Command amrun runs an AMR application on a simulated heterogeneous
+// cluster and prints the execution summary and per-regrid assignments.
+//
+//	go run ./cmd/amrun -nodes 8 -partitioner hetero -iters 100 -load
+//	go run ./cmd/amrun -kernel advect2d -nodes 4 -iters 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/checkpoint"
+	"samrpart/internal/cluster"
+	"samrpart/internal/engine"
+	"samrpart/internal/exp"
+	"samrpart/internal/geom"
+	"samrpart/internal/partition"
+	"samrpart/internal/solver"
+	"samrpart/internal/trace"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 4, "cluster size")
+		pname    = flag.String("partitioner", "hetero", "hetero | composite | sfchetero | levelwise | greedy | roundrobin")
+		kernel   = flag.String("kernel", "rm3d", "rm3d (oracle-driven) | advect2d | muscl2d | buckley (real numerics)")
+		iters    = flag.Int("iters", 50, "coarse iterations")
+		regrid   = flag.Int("regrid", 5, "regrid every N iterations")
+		sense    = flag.Int("sense", 0, "re-sense every N iterations (0 = once at start)")
+		load     = flag.Bool("load", false, "apply the paper's synthetic background-load script")
+		verbose  = flag.Bool("v", false, "print per-regrid assignments")
+		forecast = flag.String("forecaster", "last", "monitor forecaster: last|mean|median|ewma|adaptive")
+		saveCkpt = flag.String("save", "", "write a checkpoint of the final state to this file")
+		loadCkpt = flag.String("restore", "", "restore hierarchy/solution from this checkpoint before running")
+		stats    = flag.Bool("stats", false, "print per-level hierarchy statistics")
+	)
+	flag.Parse()
+
+	var p partition.Partitioner
+	switch *pname {
+	case "hetero":
+		p = partition.NewHetero()
+	case "composite":
+		p = partition.NewComposite(2)
+	case "greedy":
+		p = partition.Greedy{}
+	case "roundrobin":
+		p = partition.RoundRobin{}
+	case "sfchetero":
+		p = partition.NewSFCHetero(2)
+	case "levelwise":
+		p = partition.NewLevelWise(2)
+	case "hierarchical":
+		p = partition.NewHierarchical(2)
+	default:
+		fmt.Fprintf(os.Stderr, "amrun: unknown partitioner %q\n", *pname)
+		os.Exit(2)
+	}
+
+	var app engine.Application
+	hier := exp.RM3DHierarchy()
+	switch *kernel {
+	case "rm3d":
+		app = engine.NewRM3DOracle()
+	case "advect2d":
+		app = engine.NewSimApp(
+			solver.NewAdvection2D(1.0, 0.5, 0.25, 0.25, 0.08),
+			solver.UniformGrid(1.0/64), 0.08)
+		hier = amr.Config{
+			Domain:        geom.Box2(0, 0, 63, 63),
+			RefineRatio:   2,
+			MaxLevels:     3,
+			NestingBuffer: 1,
+			Cluster:       amr.ClusterOptions{Efficiency: 0.65, MinSide: 4},
+		}
+	case "muscl2d":
+		app = engine.NewSimApp(
+			solver.NewMUSCLAdvection2D(1.0, 0.5, 0.25, 0.25, 0.08),
+			solver.UniformGrid(1.0/64), 0.08)
+		hier = amr.Config{
+			Domain:        geom.Box2(0, 0, 63, 63),
+			RefineRatio:   2,
+			MaxLevels:     2,
+			NestingBuffer: 1,
+			Cluster:       amr.ClusterOptions{Efficiency: 0.65, MinSide: 4},
+		}
+	case "buckley":
+		app = engine.NewSimApp(
+			solver.NewBuckleyLeverett(1.0, 0.3),
+			solver.UniformGrid(1.0/64), 0.1)
+		hier = amr.Config{
+			Domain:        geom.Box2(0, 0, 63, 63),
+			RefineRatio:   2,
+			MaxLevels:     2,
+			NestingBuffer: 1,
+			Cluster:       amr.ClusterOptions{Efficiency: 0.65, MinSide: 4},
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "amrun: unknown kernel %q\n", *kernel)
+		os.Exit(2)
+	}
+
+	clus, err := cluster.New(cluster.Uniform(*nodes, cluster.LinuxWorkstation()), cluster.DefaultParams())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amrun:", err)
+		os.Exit(1)
+	}
+	if *load {
+		exp.PaperLoadScript(clus)
+	}
+	e, err := engine.New(engine.Config{
+		Name:        fmt.Sprintf("%s/%s", *kernel, p.Name()),
+		Hierarchy:   hier,
+		App:         app,
+		Partitioner: p,
+		Iterations:  *iters,
+		RegridEvery: *regrid,
+		SenseEvery:  *sense,
+		Forecaster:  *forecast,
+	}, clus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amrun:", err)
+		os.Exit(1)
+	}
+	if *loadCkpt != "" {
+		st, err := checkpoint.LoadFile(*loadCkpt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amrun: load checkpoint:", err)
+			os.Exit(1)
+		}
+		if err := e.Restore(st); err != nil {
+			fmt.Fprintln(os.Stderr, "amrun: restore:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("restored checkpoint %s (iter %d, t=%.1fs, %d levels)\n",
+			*loadCkpt, st.Iter, st.VirtualTime, st.Hierarchy.NumLevels())
+	}
+	tr, err := e.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amrun:", err)
+		os.Exit(1)
+	}
+	fmt.Println(tr.Summary())
+	fmt.Printf("mean node utilization: %.0f%%, redistributed %.1f MB\n",
+		tr.MeanUtilization()*100, tr.MovedBytes/1e6)
+	h := e.Hierarchy()
+	fmt.Printf("final hierarchy: %d levels, %d boxes, %d total work units\n",
+		h.NumLevels(), len(h.AllBoxes()), h.TotalWork())
+	if *stats {
+		fmt.Print(h.Describe())
+	}
+	if *saveCkpt != "" {
+		st, err := e.Checkpoint(*iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amrun: checkpoint:", err)
+			os.Exit(1)
+		}
+		if err := checkpoint.SaveFile(*saveCkpt, st); err != nil {
+			fmt.Fprintln(os.Stderr, "amrun: save checkpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint written to %s\n", *saveCkpt)
+	}
+	if *verbose {
+		labels := make([]string, *nodes)
+		for k := range labels {
+			labels[k] = fmt.Sprintf("P%d", k)
+		}
+		s := trace.NewSeries("\nper-regrid work assignment", "regrid", labels...)
+		for i, rec := range tr.Records {
+			s.Add(float64(i+1), rec.Work...)
+		}
+		if err := s.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "amrun:", err)
+			os.Exit(1)
+		}
+	}
+}

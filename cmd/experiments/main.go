@@ -1,0 +1,78 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the virtual cluster, printing paper-vs-measured
+// data. Run with -all, or select individual experiments:
+//
+//	go run ./cmd/experiments -all
+//	go run ./cmd/experiments -fig7 -table3
+//	go run ./cmd/experiments -ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"samrpart/internal/exp"
+)
+
+// renderable is any experiment result that can print itself.
+type renderable interface {
+	Render(w io.Writer) error
+}
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every experiment")
+		scaling   = flag.Bool("scaling", false, "strong-scaling study on an idle cluster")
+		fig7      = flag.Bool("fig7", false, "Figure 7 / Table I: execution time vs cluster size")
+		fig8      = flag.Bool("fig8", false, "Figures 8-10: assignments and imbalance at fixed capacities")
+		fig11     = flag.Bool("fig11", false, "Figure 11: dynamic sensing during the run")
+		table2    = flag.Bool("table2", false, "Table II: dynamic vs static sensing")
+		table3    = flag.Bool("table3", false, "Table III / Figures 12-15: sensing frequency sweep")
+		ablations = flag.Bool("ablations", false, "design-choice ablations")
+	)
+	flag.Parse()
+	if !(*all || *fig7 || *fig8 || *fig11 || *table2 || *table3 || *ablations || *scaling) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	type job struct {
+		on   bool
+		name string
+		run  func() (renderable, error)
+	}
+	jobs := []job{
+		{*all || *fig7, "Figure 7 / Table I", func() (renderable, error) { return exp.Fig7TableI() }},
+		{*all || *fig8, "Figures 8-10", func() (renderable, error) { return exp.Fig8to10() }},
+		{*all || *fig11, "Figure 11", func() (renderable, error) { return exp.Fig11() }},
+		{*all || *table2, "Table II", func() (renderable, error) { return exp.Table2() }},
+		{*all || *table3, "Table III / Figures 12-15", func() (renderable, error) { return exp.Table3() }},
+		{*all || *ablations, "Ablation: capacity weights", func() (renderable, error) { return exp.AblationWeights() }},
+		{*all || *ablations, "Ablation: splitting constraints", func() (renderable, error) { return exp.AblationSplitting() }},
+		{*all || *ablations, "Ablation: SFC choice", func() (renderable, error) { return exp.AblationSFC() }},
+		{*all || *ablations, "Ablation: forecaster", func() (renderable, error) { return exp.AblationForecaster() }},
+		{*all || *ablations, "Ablation: granularity", func() (renderable, error) { return exp.AblationGranularity() }},
+		{*all || *ablations, "Ablation: locality vs balance", func() (renderable, error) { return exp.AblationLocality() }},
+		{*all || *ablations, "Ablation: weights under memory pressure", func() (renderable, error) { return exp.AblationMemoryWeights() }},
+		{*all || *scaling, "Strong scaling", func() (renderable, error) { return exp.Scalability() }},
+		{*all || *scaling, "Heterogeneity sweep", func() (renderable, error) { return exp.HeterogeneitySweep() }},
+		{*all || *scaling, "Mixed hardware", func() (renderable, error) { return exp.MixedHardware() }},
+	}
+	for _, j := range jobs {
+		if !j.on {
+			continue
+		}
+		fmt.Printf("==== %s ====\n", j.name)
+		r, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", j.name, err)
+			os.Exit(1)
+		}
+		if err := r.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: render %s: %v\n", j.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

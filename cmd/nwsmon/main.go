@@ -1,0 +1,179 @@
+// Command nwsmon is a small standalone resource-monitoring service in the
+// spirit of the Network Weather Service: in -serve mode it samples the local
+// host (via /proc) plus optional simulated peers and answers TCP queries
+// with measurements and relative capacities; in -query mode it prints a
+// remote monitor's answer. The protocol lives in internal/monitor
+// (monitor.Service / monitor.Query).
+//
+//	go run ./cmd/nwsmon -serve -addr 127.0.0.1:7878 -peers 3
+//	go run ./cmd/nwsmon -query -addr 127.0.0.1:7878
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"samrpart/internal/capacity"
+	"samrpart/internal/cluster"
+	"samrpart/internal/monitor"
+)
+
+// hostProber measures the local host through /proc and models optional
+// simulated peers so a single machine can demo a multi-node monitor.
+type hostProber struct {
+	peers *cluster.Cluster
+	start time.Time
+}
+
+// NumNodes implements monitor.Prober.
+func (p *hostProber) NumNodes() int {
+	if p.peers == nil {
+		return 1
+	}
+	return 1 + p.peers.NumNodes()
+}
+
+// Probe implements monitor.Prober. Node 0 is the local host.
+func (p *hostProber) Probe(k int) capacity.Measurement {
+	if k == 0 {
+		return capacity.Measurement{
+			CPUAvail:      hostCPUAvail(),
+			FreeMemoryMB:  hostFreeMemMB(),
+			BandwidthMBps: 12.5,
+		}
+	}
+	t := time.Since(p.start).Seconds()
+	n := p.peers.Node(k - 1)
+	return capacity.Measurement{
+		CPUAvail:      n.CPUAvail(t),
+		FreeMemoryMB:  n.FreeMemoryMB(t),
+		BandwidthMBps: n.Bandwidth(t),
+	}
+}
+
+// hostCPUAvail estimates the CPU fraction available from /proc/loadavg.
+func hostCPUAvail() float64 {
+	data, err := os.ReadFile("/proc/loadavg")
+	if err != nil {
+		return 1
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) == 0 {
+		return 1
+	}
+	load, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 1
+	}
+	avail := 1 - load/float64(numCPU())
+	if avail < 0.02 {
+		avail = 0.02
+	}
+	if avail > 1 {
+		avail = 1
+	}
+	return avail
+}
+
+func numCPU() int {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return 1
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "processor") {
+			n++
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// hostFreeMemMB reads MemAvailable from /proc/meminfo.
+func hostFreeMemMB() float64 {
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return 256
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "MemAvailable:") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseFloat(fields[1], 64); err == nil {
+					return kb / 1024
+				}
+			}
+		}
+	}
+	return 256
+}
+
+func serve(addr string, peerCount int) error {
+	var peers *cluster.Cluster
+	if peerCount > 0 {
+		var err error
+		peers, err = cluster.New(cluster.Uniform(peerCount, cluster.LinuxWorkstation()), cluster.DefaultParams())
+		if err != nil {
+			return err
+		}
+		// Give the simulated peers some dynamics so repeated queries show
+		// moving capacities.
+		peers.Node(0).AddLoad(cluster.Sinusoid{Mean: 0.4, Amplitude: 0.4, Period: 120, MemMB: 100})
+	}
+	prober := &hostProber{peers: peers, start: time.Now()}
+	mon := monitor.NewAdaptiveMonitor(prober)
+	svc := monitor.NewService(mon, capacity.EqualWeights(), func() float64 {
+		return time.Since(prober.start).Seconds()
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("nwsmon: serving %d node(s) on %s\n", prober.NumNodes(), ln.Addr())
+	return svc.Serve(ln)
+}
+
+func query(addr string) error {
+	resp, err := monitor.Query(addr, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("monitor @ %s (%s)\n", addr, resp.Time)
+	for k, m := range resp.Measurements {
+		fmt.Printf("  node %d: cpu %.0f%%  mem %.0f MB  bw %.1f MB/s  ->  C_%d = %.1f%%\n",
+			k, m.CPUAvail*100, m.FreeMemoryMB, m.BandwidthMBps, k, resp.Capacities[k]*100)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		serveMode = flag.Bool("serve", false, "run the monitor service")
+		queryMode = flag.Bool("query", false, "query a running monitor")
+		addr      = flag.String("addr", "127.0.0.1:7878", "service address")
+		peerCount = flag.Int("peers", 3, "simulated peer nodes in -serve mode")
+	)
+	flag.Parse()
+	var err error
+	switch {
+	case *serveMode:
+		err = serve(*addr, *peerCount)
+	case *queryMode:
+		err = query(*addr)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwsmon:", err)
+		os.Exit(1)
+	}
+}

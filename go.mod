@@ -1,0 +1,3 @@
+module samrpart
+
+go 1.22

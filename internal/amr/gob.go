@@ -1,0 +1,75 @@
+package amr
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"samrpart/internal/geom"
+)
+
+// patchWire is the serialized form of a Patch.
+type patchWire struct {
+	Box       geom.Box
+	Ghost     int
+	NumFields int
+	Data      []float64
+}
+
+// GobEncode implements gob.GobEncoder so patches can be checkpointed.
+func (p *Patch) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	w := patchWire{Box: p.Box, Ghost: p.Ghost, NumFields: p.NumFields, Data: p.data}
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("amr: encode patch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (p *Patch) GobDecode(b []byte) error {
+	var w patchWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return fmt.Errorf("amr: decode patch: %w", err)
+	}
+	fresh := NewPatch(w.Box, w.Ghost, w.NumFields)
+	if len(w.Data) != len(fresh.data) {
+		return fmt.Errorf("amr: patch data length %d, want %d", len(w.Data), len(fresh.data))
+	}
+	copy(fresh.data, w.Data)
+	*p = *fresh
+	return nil
+}
+
+// hierarchyWire is the serialized form of a Hierarchy.
+type hierarchyWire struct {
+	Cfg    Config
+	Levels []geom.BoxList
+}
+
+// GobEncode implements gob.GobEncoder so hierarchies can be checkpointed.
+func (h *Hierarchy) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	w := hierarchyWire{Cfg: h.cfg, Levels: h.levels}
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("amr: encode hierarchy: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (h *Hierarchy) GobDecode(b []byte) error {
+	var w hierarchyWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return fmt.Errorf("amr: decode hierarchy: %w", err)
+	}
+	if err := w.Cfg.Validate(); err != nil {
+		return fmt.Errorf("amr: decoded hierarchy invalid: %w", err)
+	}
+	if len(w.Levels) == 0 {
+		return fmt.Errorf("amr: decoded hierarchy has no levels")
+	}
+	h.cfg = w.Cfg
+	h.levels = w.Levels
+	return nil
+}

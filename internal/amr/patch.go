@@ -1,0 +1,187 @@
+// Package amr implements the Berger–Oliger structured adaptive mesh
+// refinement machinery GrACE provides: component-grid patches with ghost
+// cells, error flag fields, Berger–Rigoutsos point clustering, the adaptive
+// grid hierarchy with proper nesting, inter-grid transfer operators
+// (prolongation and restriction) and the time-subcycling schedule.
+package amr
+
+import (
+	"fmt"
+	"math"
+
+	"samrpart/internal/geom"
+)
+
+// Patch is the solution storage of one component grid: NumFields cell
+// centered fields over an interior box plus a ghost halo of uniform width.
+// Storage is field-major with x fastest, a single allocation per patch.
+type Patch struct {
+	Box       geom.Box // interior region (no ghosts)
+	Ghost     int      // halo width in cells
+	NumFields int
+
+	padded geom.Box // Box.Grow(Ghost)
+	stride [geom.MaxDim]int
+	fsize  int // cells in padded box
+	data   []float64
+}
+
+// NewPatch allocates a zero-initialized patch.
+func NewPatch(box geom.Box, ghost, numFields int) *Patch {
+	if box.Empty() {
+		panic("amr: empty patch box")
+	}
+	if ghost < 0 || numFields < 1 {
+		panic(fmt.Sprintf("amr: invalid patch shape ghost=%d fields=%d", ghost, numFields))
+	}
+	p := &Patch{Box: box, Ghost: ghost, NumFields: numFields}
+	p.padded = box.Grow(ghost)
+	p.stride[0] = 1
+	for d := 1; d < geom.MaxDim; d++ {
+		if d < box.Rank {
+			p.stride[d] = p.stride[d-1] * p.padded.Size(d-1)
+		}
+	}
+	p.fsize = int(p.padded.Cells())
+	p.data = make([]float64, p.fsize*numFields)
+	return p
+}
+
+// Padded returns the patch's storage region (interior grown by the halo).
+func (p *Patch) Padded() geom.Box { return p.padded }
+
+// Bytes returns the storage footprint of the patch's field data.
+func (p *Patch) Bytes() int64 { return int64(len(p.data)) * 8 }
+
+// offset returns the linear index of pt within the padded box.
+func (p *Patch) offset(pt geom.Point) int {
+	off := 0
+	for d := 0; d < p.Box.Rank; d++ {
+		off += (pt[d] - p.padded.Lo[d]) * p.stride[d]
+	}
+	return off
+}
+
+// At returns field f at cell pt (which may lie in the halo).
+func (p *Patch) At(f int, pt geom.Point) float64 {
+	return p.data[f*p.fsize+p.offset(pt)]
+}
+
+// Set assigns field f at cell pt.
+func (p *Patch) Set(f int, pt geom.Point, v float64) {
+	p.data[f*p.fsize+p.offset(pt)] = v
+}
+
+// Add accumulates into field f at cell pt.
+func (p *Patch) Add(f int, pt geom.Point, v float64) {
+	p.data[f*p.fsize+p.offset(pt)] += v
+}
+
+// Field returns the raw storage of field f over the padded box; the layout
+// is x-fastest row major. Solvers use this for inner loops.
+func (p *Patch) Field(f int) []float64 {
+	return p.data[f*p.fsize : (f+1)*p.fsize]
+}
+
+// Stride returns the linear stride of axis d in Field storage.
+func (p *Patch) Stride(d int) int { return p.stride[d] }
+
+// Fill sets every cell (interior and halo) of field f to v.
+func (p *Patch) Fill(f int, v float64) {
+	fd := p.Field(f)
+	for i := range fd {
+		fd[i] = v
+	}
+}
+
+// FillAll sets every cell of every field to v.
+func (p *Patch) FillAll(v float64) {
+	for i := range p.data {
+		p.data[i] = v
+	}
+}
+
+// EachInterior visits every interior cell of the patch.
+func (p *Patch) EachInterior(fn func(pt geom.Point)) {
+	p.eachIn(p.Box, fn)
+}
+
+// eachIn visits every cell of region (assumed inside the padded box).
+func (p *Patch) eachIn(region geom.Box, fn func(pt geom.Point)) {
+	if region.Empty() {
+		return
+	}
+	var pt geom.Point
+	lo, hi := region.Lo, region.Hi
+	switch p.Box.Rank {
+	case 1:
+		for x := lo[0]; x <= hi[0]; x++ {
+			pt[0] = x
+			fn(pt)
+		}
+	case 2:
+		for y := lo[1]; y <= hi[1]; y++ {
+			pt[1] = y
+			for x := lo[0]; x <= hi[0]; x++ {
+				pt[0] = x
+				fn(pt)
+			}
+		}
+	default:
+		for z := lo[2]; z <= hi[2]; z++ {
+			pt[2] = z
+			for y := lo[1]; y <= hi[1]; y++ {
+				pt[1] = y
+				for x := lo[0]; x <= hi[0]; x++ {
+					pt[0] = x
+					fn(pt)
+				}
+			}
+		}
+	}
+}
+
+// CopyOverlap copies the interior cells of src that fall inside dst's padded
+// region (interior or halo) into dst, for every field. Both patches must
+// live on the same level and have the same field count. It returns the
+// number of cells copied, which the runtime uses for communication-volume
+// accounting.
+func CopyOverlap(dst, src *Patch) int64 {
+	if dst.NumFields != src.NumFields {
+		panic("amr: CopyOverlap field count mismatch")
+	}
+	region := dst.padded.Intersect(src.Box)
+	if region.Empty() {
+		return 0
+	}
+	for f := 0; f < dst.NumFields; f++ {
+		df, sf := dst.Field(f), src.Field(f)
+		dst.eachIn(region, func(pt geom.Point) {
+			df[dst.offset(pt)] = sf[src.offset(pt)]
+		})
+	}
+	return region.Cells()
+}
+
+// MaxAbs returns the maximum absolute interior value of field f, a cheap
+// stability diagnostic.
+func (p *Patch) MaxAbs(f int) float64 {
+	max := 0.0
+	fd := p.Field(f)
+	p.EachInterior(func(pt geom.Point) {
+		if v := math.Abs(fd[p.offset(pt)]); v > max {
+			max = v
+		}
+	})
+	return max
+}
+
+// L1 returns the mean absolute interior value of field f.
+func (p *Patch) L1(f int) float64 {
+	sum := 0.0
+	fd := p.Field(f)
+	p.EachInterior(func(pt geom.Point) {
+		sum += math.Abs(fd[p.offset(pt)])
+	})
+	return sum / float64(p.Box.Cells())
+}

@@ -1,0 +1,135 @@
+package amr
+
+import (
+	"math"
+	"testing"
+
+	"samrpart/internal/geom"
+)
+
+func TestPatchIndexing(t *testing.T) {
+	p := NewPatch(geom.Box3(2, 2, 2, 5, 5, 5), 2, 3)
+	if !p.Padded().Equal(geom.Box3(0, 0, 0, 7, 7, 7)) {
+		t.Fatalf("Padded = %v", p.Padded())
+	}
+	p.Set(0, geom.Pt3(2, 2, 2), 1.5)
+	p.Set(2, geom.Pt3(5, 5, 5), -2.0)
+	p.Set(1, geom.Pt3(0, 0, 0), 7.0) // halo cell
+	if p.At(0, geom.Pt3(2, 2, 2)) != 1.5 {
+		t.Error("interior read-back failed")
+	}
+	if p.At(2, geom.Pt3(5, 5, 5)) != -2.0 {
+		t.Error("field-2 read-back failed")
+	}
+	if p.At(1, geom.Pt3(0, 0, 0)) != 7.0 {
+		t.Error("halo read-back failed")
+	}
+	if p.At(1, geom.Pt3(2, 2, 2)) != 0 {
+		t.Error("fields bleed into each other")
+	}
+	p.Add(0, geom.Pt3(2, 2, 2), 0.5)
+	if p.At(0, geom.Pt3(2, 2, 2)) != 2.0 {
+		t.Error("Add failed")
+	}
+}
+
+func TestPatchFieldLayout(t *testing.T) {
+	p := NewPatch(geom.Box2(0, 0, 3, 3), 1, 2)
+	// Field slice length equals padded cells.
+	if len(p.Field(0)) != 36 {
+		t.Fatalf("field size = %d, want 36", len(p.Field(0)))
+	}
+	// x-fastest: consecutive x cells differ by Stride(0)=1.
+	p.Set(0, geom.Pt2(1, 2), 5)
+	f := p.Field(0)
+	idx := (2-(-1))*p.Stride(1) + (1 - (-1))
+	if f[idx] != 5 {
+		t.Error("layout is not x-fastest row-major with halo offset")
+	}
+}
+
+func TestPatchFillAndNorms(t *testing.T) {
+	p := NewPatch(geom.Box2(0, 0, 9, 9), 1, 2)
+	p.Fill(0, -3)
+	if p.MaxAbs(0) != 3 {
+		t.Errorf("MaxAbs = %g", p.MaxAbs(0))
+	}
+	if math.Abs(p.L1(0)-3) > 1e-12 {
+		t.Errorf("L1 = %g", p.L1(0))
+	}
+	if p.MaxAbs(1) != 0 {
+		t.Error("Fill leaked across fields")
+	}
+	p.FillAll(1)
+	if p.L1(1) != 1 {
+		t.Error("FillAll failed")
+	}
+}
+
+func TestPatchEachInteriorCount(t *testing.T) {
+	p := NewPatch(geom.Box3(0, 0, 0, 2, 3, 4), 2, 1)
+	n := 0
+	p.EachInterior(func(pt geom.Point) {
+		if !p.Box.Contains(pt) {
+			t.Fatalf("EachInterior left interior: %v", pt)
+		}
+		n++
+	})
+	if n != 3*4*5 {
+		t.Errorf("visited %d cells, want 60", n)
+	}
+}
+
+func TestPatchBytes(t *testing.T) {
+	p := NewPatch(geom.Box2(0, 0, 7, 7), 0, 2)
+	if p.Bytes() != 64*2*8 {
+		t.Errorf("Bytes = %d", p.Bytes())
+	}
+}
+
+func TestCopyOverlapIntoHalo(t *testing.T) {
+	// Two adjacent patches; copying src into dst fills dst's halo with
+	// src's interior values.
+	dst := NewPatch(geom.Box2(0, 0, 3, 3), 1, 2)
+	src := NewPatch(geom.Box2(4, 0, 7, 3), 1, 2)
+	src.Fill(0, 9)
+	src.Fill(1, 4)
+	n := CopyOverlap(dst, src)
+	// dst padded x extends to 4; src interior starts at 4 -> one plane of
+	// 4 (y in -1..4 clipped to src rows 0..3): region x=4, y=0..3 -> 4 cells.
+	if n != 4 {
+		t.Errorf("copied %d cells, want 4", n)
+	}
+	if dst.At(0, geom.Pt2(4, 2)) != 9 || dst.At(1, geom.Pt2(4, 2)) != 4 {
+		t.Error("halo not filled from neighbor interior")
+	}
+	// Interior untouched.
+	if dst.At(0, geom.Pt2(3, 2)) != 0 {
+		t.Error("CopyOverlap wrote outside the overlap")
+	}
+}
+
+func TestCopyOverlapDisjoint(t *testing.T) {
+	dst := NewPatch(geom.Box2(0, 0, 3, 3), 1, 1)
+	src := NewPatch(geom.Box2(50, 50, 53, 53), 1, 1)
+	if n := CopyOverlap(dst, src); n != 0 {
+		t.Errorf("copied %d cells between disjoint patches", n)
+	}
+}
+
+func TestPatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty box":   func() { NewPatch(geom.Box{Rank: 2, Lo: geom.Pt2(1, 1), Hi: geom.Pt2(0, 0)}, 1, 1) },
+		"zero fields": func() { NewPatch(geom.Box2(0, 0, 1, 1), 1, 0) },
+		"neg ghost":   func() { NewPatch(geom.Box2(0, 0, 1, 1), -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

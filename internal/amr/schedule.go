@@ -1,0 +1,33 @@
+package amr
+
+// Schedule returns the Berger–Oliger order of level integrations for one
+// coarse time step. Each finer level takes refineRatio sub-steps per parent
+// step, interleaved depth-first so coarse data is available for boundary
+// interpolation: 3 levels at ratio 2 yield [0 1 2 2 1 2 2].
+func Schedule(numLevels, refineRatio int) []int {
+	if numLevels < 1 || refineRatio < 1 {
+		return nil
+	}
+	var out []int
+	var step func(l int)
+	step = func(l int) {
+		out = append(out, l)
+		if l+1 < numLevels {
+			for i := 0; i < refineRatio; i++ {
+				step(l + 1)
+			}
+		}
+	}
+	step(0)
+	return out
+}
+
+// StepsPerCoarse returns how many sub-steps level l takes during one coarse
+// step: refineRatio^l.
+func StepsPerCoarse(level, refineRatio int) int {
+	n := 1
+	for i := 0; i < level; i++ {
+		n *= refineRatio
+	}
+	return n
+}

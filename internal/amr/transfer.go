@@ -1,0 +1,73 @@
+package amr
+
+import (
+	"samrpart/internal/geom"
+)
+
+// Prolong injects coarse values into the fine patch (piecewise-constant
+// prolongation): every fine cell overlapping the coarse patch's interior
+// receives the value of its parent coarse cell, in every field. Cells are
+// written in both the fine interior and halo, which is how coarse-fine
+// boundary conditions are supplied. Returns the number of fine cells filled.
+func Prolong(fine, coarse *Patch, ratio int) int64 {
+	if fine.NumFields != coarse.NumFields {
+		panic("amr: Prolong field count mismatch")
+	}
+	coarseAsFine := coarse.Box.Refine(ratio)
+	coarseAsFine.Level = fine.Box.Level
+	region := fine.Padded().Intersect(coarseAsFine)
+	if region.Empty() {
+		return 0
+	}
+	for f := 0; f < fine.NumFields; f++ {
+		ff, cf := fine.Field(f), coarse.Field(f)
+		fine.eachIn(region, func(pt geom.Point) {
+			cp := pt.DivFloor(ratio)
+			ff[fine.offset(pt)] = cf[coarse.offset(cp)]
+		})
+	}
+	return region.Cells()
+}
+
+// Restrict averages fine values onto the coarse patch: every coarse interior
+// cell fully covered by the fine patch's interior receives the mean of its
+// ratio^rank fine children, in every field. This is the Berger–Oliger
+// restriction applied after each fine sub-cycle completes. Returns the
+// number of coarse cells updated.
+func Restrict(coarse, fine *Patch, ratio int) int64 {
+	if fine.NumFields != coarse.NumFields {
+		panic("amr: Restrict field count mismatch")
+	}
+	fineAsCoarse := fine.Box.Coarsen(ratio)
+	fineAsCoarse.Level = coarse.Box.Level
+	// Only coarse cells whose full fine block lies inside fine.Box.
+	region := coarse.Box.Intersect(fineAsCoarse)
+	if region.Empty() {
+		return 0
+	}
+	children := int64(1)
+	for d := 0; d < coarse.Box.Rank; d++ {
+		children *= int64(ratio)
+	}
+	inv := 1.0 / float64(children)
+	var updated int64
+	for f := 0; f < coarse.NumFields; f++ {
+		cf, ff := coarse.Field(f), fine.Field(f)
+		coarse.eachIn(region, func(pt geom.Point) {
+			block := geom.NewBox(coarse.Box.Rank, pt, pt).Refine(ratio)
+			block.Level = fine.Box.Level
+			if !fine.Box.ContainsBox(block) {
+				return
+			}
+			sum := 0.0
+			fine.eachIn(block, func(fp geom.Point) {
+				sum += ff[fine.offset(fp)]
+			})
+			cf[coarse.offset(pt)] = sum * inv
+			if f == 0 {
+				updated++
+			}
+		})
+	}
+	return updated
+}

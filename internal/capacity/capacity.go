@@ -1,0 +1,167 @@
+// Package capacity implements the paper's relative-capacity metric (§5.2):
+// given per-node measurements of CPU availability, free memory and link
+// bandwidth, each resource is normalized to a fraction of the cluster total
+// and the relative capacity of node k is the weighted sum
+//
+//	C_k = w_p·P̂_k + w_m·M̂_k + w_b·B̂_k,  w_p + w_m + w_b = 1,
+//
+// so that Σ_k C_k = 1. The work assigned to node k out of a total load L is
+// L_k = C_k · L. The weights are application dependent: a memory-intensive
+// application raises w_m, a communication-bound one raises w_b.
+package capacity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Measurement is one node's resource state as reported by the monitor.
+type Measurement struct {
+	// CPUAvail is the fraction of CPU available to the application.
+	CPUAvail float64
+	// FreeMemoryMB is the unused physical memory.
+	FreeMemoryMB float64
+	// BandwidthMBps is the available link bandwidth.
+	BandwidthMBps float64
+}
+
+// Weights are the application-dependent resource weights (w_p, w_m, w_b).
+type Weights struct {
+	CPU, Memory, Bandwidth float64
+}
+
+// EqualWeights weighs the three resources equally (w = 1/3 each), the
+// configuration used throughout the paper's experiments.
+func EqualWeights() Weights { return Weights{CPU: 1. / 3, Memory: 1. / 3, Bandwidth: 1. / 3} }
+
+// ComputeBiased emphasizes CPU availability, for compute-bound kernels.
+func ComputeBiased() Weights { return Weights{CPU: 0.6, Memory: 0.2, Bandwidth: 0.2} }
+
+// MemoryBiased emphasizes free memory, for memory-intensive applications.
+func MemoryBiased() Weights { return Weights{CPU: 0.2, Memory: 0.6, Bandwidth: 0.2} }
+
+// CommBiased emphasizes bandwidth, for communication-bound applications.
+func CommBiased() Weights { return Weights{CPU: 0.2, Memory: 0.2, Bandwidth: 0.6} }
+
+// Validate checks the weights are non-negative and sum to 1.
+func (w Weights) Validate() error {
+	if w.CPU < 0 || w.Memory < 0 || w.Bandwidth < 0 {
+		return fmt.Errorf("capacity: negative weight %+v", w)
+	}
+	if s := w.CPU + w.Memory + w.Bandwidth; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("capacity: weights sum to %g, want 1", s)
+	}
+	return nil
+}
+
+// ErrNoNodes is returned when no measurements are supplied.
+var ErrNoNodes = errors.New("capacity: no measurements")
+
+// ErrDegenerate is returned when a resource is non-positive on every node so
+// it cannot be normalized.
+var ErrDegenerate = errors.New("capacity: resource totals are zero across the cluster")
+
+// Relative computes the relative capacities C_k. The result sums to 1.
+func Relative(ms []Measurement, w Weights) ([]float64, error) {
+	if len(ms) == 0 {
+		return nil, ErrNoNodes
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	var totP, totM, totB float64
+	for _, m := range ms {
+		totP += math.Max(m.CPUAvail, 0)
+		totM += math.Max(m.FreeMemoryMB, 0)
+		totB += math.Max(m.BandwidthMBps, 0)
+	}
+	// A resource that is zero everywhere carries no information; fold its
+	// weight into the others when possible, else fail.
+	wp, wm, wb := w.CPU, w.Memory, w.Bandwidth
+	redistribute := func(dead *float64, live ...*float64) {
+		sum := 0.0
+		for _, l := range live {
+			sum += *l
+		}
+		if sum <= 0 {
+			return
+		}
+		for _, l := range live {
+			*l += *dead * *l / sum
+		}
+		*dead = 0
+	}
+	if totP <= 0 {
+		redistribute(&wp, &wm, &wb)
+	}
+	if totM <= 0 {
+		redistribute(&wm, &wp, &wb)
+	}
+	if totB <= 0 {
+		redistribute(&wb, &wp, &wm)
+	}
+	if wp+wm+wb <= 0 || (totP <= 0 && totM <= 0 && totB <= 0) {
+		return nil, ErrDegenerate
+	}
+	caps := make([]float64, len(ms))
+	for k, m := range ms {
+		var c float64
+		if totP > 0 {
+			c += wp * math.Max(m.CPUAvail, 0) / totP
+		}
+		if totM > 0 {
+			c += wm * math.Max(m.FreeMemoryMB, 0) / totM
+		}
+		if totB > 0 {
+			c += wb * math.Max(m.BandwidthMBps, 0) / totB
+		}
+		caps[k] = c
+	}
+	// Renormalize against accumulated floating-point error so Σ C_k = 1.
+	sum := 0.0
+	for _, c := range caps {
+		sum += c
+	}
+	if sum <= 0 {
+		return nil, ErrDegenerate
+	}
+	for k := range caps {
+		caps[k] /= sum
+	}
+	return caps, nil
+}
+
+// Shares converts relative capacities into per-node work targets
+// L_k = C_k · L for a total load L.
+func Shares(caps []float64, totalWork float64) []float64 {
+	out := make([]float64, len(caps))
+	for k, c := range caps {
+		out[k] = c * totalWork
+	}
+	return out
+}
+
+// Imbalance returns the paper's load-imbalance metric for node k,
+// I_k = |W_k − L_k| / L_k · 100%, given the assigned work W and the ideal
+// share L. It returns +Inf for a zero ideal share with non-zero assignment.
+func Imbalance(assigned, ideal float64) float64 {
+	if ideal == 0 {
+		if assigned == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(assigned-ideal) / ideal * 100
+}
+
+// MaxImbalance returns the maximum I_k over the cluster.
+func MaxImbalance(assigned, ideal []float64) float64 {
+	max := 0.0
+	for k := range assigned {
+		if v := Imbalance(assigned[k], ideal[k]); v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,120 @@
+// Package checkpoint saves and restores the state of an adaptive run — the
+// grid hierarchy, the solution patches, and the progress counters — as a
+// single gob stream. Long SAMR runs on clusters of workstations checkpoint
+// routinely (nodes come and go); GrACE provided the same facility.
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/geom"
+)
+
+// magic guards against feeding arbitrary gob streams into Load.
+const magic = "samrpart-checkpoint-v1"
+
+// State is everything needed to resume a run.
+type State struct {
+	// Hierarchy is the adaptive grid hierarchy.
+	Hierarchy *amr.Hierarchy
+	// Patches maps hierarchy boxes to solution patches (nil for
+	// structure-only applications).
+	Patches map[geom.Box]*amr.Patch
+	// Iter is the next coarse iteration to execute.
+	Iter int
+	// VirtualTime is the cluster clock at the checkpoint.
+	VirtualTime float64
+}
+
+// Validate checks internal consistency: every hierarchy box has a patch
+// when patches are present, and no orphan patches exist.
+func (st *State) Validate() error {
+	if st.Hierarchy == nil {
+		return fmt.Errorf("checkpoint: nil hierarchy")
+	}
+	if st.Iter < 0 {
+		return fmt.Errorf("checkpoint: negative iteration %d", st.Iter)
+	}
+	if st.Patches == nil {
+		return nil
+	}
+	boxes := st.Hierarchy.AllBoxes()
+	for _, b := range boxes {
+		if _, ok := st.Patches[b]; !ok {
+			return fmt.Errorf("checkpoint: hierarchy box %v has no patch", b)
+		}
+	}
+	if len(st.Patches) != len(boxes) {
+		return fmt.Errorf("checkpoint: %d patches for %d hierarchy boxes",
+			len(st.Patches), len(boxes))
+	}
+	return nil
+}
+
+// Save writes the state to w.
+func Save(w io.Writer, st *State) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(magic); err != nil {
+		return fmt.Errorf("checkpoint: write header: %w", err)
+	}
+	if err := enc.Encode(st); err != nil {
+		return fmt.Errorf("checkpoint: write state: %w", err)
+	}
+	return nil
+}
+
+// Load reads a state written by Save.
+func Load(r io.Reader) (*State, error) {
+	dec := gob.NewDecoder(r)
+	var hdr string
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("checkpoint: read header: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("checkpoint: bad header %q", hdr)
+	}
+	st := &State{}
+	if err := dec.Decode(st); err != nil {
+		return nil, fmt.Errorf("checkpoint: read state: %w", err)
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// SaveFile writes the state to path (atomically via a temp file + rename).
+func SaveFile(path string, st *State) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a state from path.
+func LoadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

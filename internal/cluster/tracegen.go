@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TracePoint is one sample of a recorded load trace.
+type TracePoint struct {
+	Time  float64
+	CPU   float64
+	MemMB float64
+}
+
+// TraceLoad replays a recorded background-load trace, linearly
+// interpolating between samples and holding the last value afterwards. It
+// lets experiments drive node dynamics from measured data (e.g. converted
+// NWS logs) instead of synthetic generators.
+type TraceLoad struct {
+	points []TracePoint
+}
+
+// NewTraceLoad builds a trace generator; samples are sorted by time.
+// At least one sample is required.
+func NewTraceLoad(points []TracePoint) (*TraceLoad, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("cluster: empty load trace")
+	}
+	ps := make([]TracePoint, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Time < ps[j].Time })
+	return &TraceLoad{points: ps}, nil
+}
+
+// interp returns the linearly interpolated sample at time t.
+func (tr *TraceLoad) interp(t float64) TracePoint {
+	ps := tr.points
+	if t <= ps[0].Time {
+		return ps[0]
+	}
+	last := ps[len(ps)-1]
+	if t >= last.Time {
+		return last
+	}
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].Time > t })
+	a, b := ps[i-1], ps[i]
+	f := (t - a.Time) / (b.Time - a.Time)
+	return TracePoint{
+		Time:  t,
+		CPU:   a.CPU + f*(b.CPU-a.CPU),
+		MemMB: a.MemMB + f*(b.MemMB-a.MemMB),
+	}
+}
+
+// CPULoad implements LoadGenerator.
+func (tr *TraceLoad) CPULoad(t float64) float64 { return clamp01(tr.interp(t).CPU) }
+
+// MemoryMB implements LoadGenerator.
+func (tr *TraceLoad) MemoryMB(t float64) float64 {
+	m := tr.interp(t).MemMB
+	if m < 0 {
+		return 0
+	}
+	return m
+}

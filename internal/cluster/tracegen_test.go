@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTraceLoadInterpolation(t *testing.T) {
+	tr, err := NewTraceLoad([]TracePoint{
+		{Time: 10, CPU: 0.2, MemMB: 50},
+		{Time: 0, CPU: 0, MemMB: 0}, // out of order on purpose
+		{Time: 20, CPU: 0.6, MemMB: 150},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t, cpu, mem float64
+	}{
+		{-5, 0, 0},     // before first: hold
+		{0, 0, 0},      // exact
+		{5, 0.1, 25},   // interpolated
+		{10, 0.2, 50},  // exact
+		{15, 0.4, 100}, // interpolated
+		{25, 0.6, 150}, // after last: hold
+	}
+	for _, c := range cases {
+		if got := tr.CPULoad(c.t); math.Abs(got-c.cpu) > 1e-12 {
+			t.Errorf("CPULoad(%g) = %g, want %g", c.t, got, c.cpu)
+		}
+		if got := tr.MemoryMB(c.t); math.Abs(got-c.mem) > 1e-12 {
+			t.Errorf("MemoryMB(%g) = %g, want %g", c.t, got, c.mem)
+		}
+	}
+}
+
+func TestTraceLoadClamps(t *testing.T) {
+	tr, _ := NewTraceLoad([]TracePoint{
+		{Time: 0, CPU: -0.5, MemMB: -10},
+		{Time: 10, CPU: 1.8, MemMB: 100},
+	})
+	if tr.CPULoad(0) != 0 {
+		t.Error("negative CPU not clamped")
+	}
+	if tr.CPULoad(10) != 1 {
+		t.Error("CPU > 1 not clamped")
+	}
+	if tr.MemoryMB(0) != 0 {
+		t.Error("negative memory not clamped")
+	}
+}
+
+func TestTraceLoadEmpty(t *testing.T) {
+	if _, err := NewTraceLoad(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestTraceLoadOnNode(t *testing.T) {
+	tr, _ := NewTraceLoad([]TracePoint{
+		{Time: 0, CPU: 0, MemMB: 0},
+		{Time: 100, CPU: 0.5, MemMB: 128},
+	})
+	n, _ := NewNode(LinuxWorkstation())
+	n.AddLoad(tr)
+	if got := n.CPUAvail(50); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("avail at t=50 = %g, want 0.75", got)
+	}
+	if got := n.FreeMemoryMB(100); math.Abs(got-128) > 1e-12 {
+		t.Errorf("free mem at t=100 = %g, want 128", got)
+	}
+}

@@ -1,0 +1,459 @@
+// Package engine is the adaptive runtime that ties the reproduction
+// together — the role GrACE's runtime system plays in the paper. It owns
+// the grid hierarchy, asks the application for error flags, regrids,
+// senses the cluster through the monitor, computes relative capacities,
+// invokes the partitioner, and charges compute / communication / sensing /
+// regridding costs to the virtual cluster clock. A separate SPMD runner
+// (spmd.go) executes small problems genuinely in parallel over the
+// transport layer.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/geom"
+	"samrpart/internal/hdda"
+	"samrpart/internal/sfc"
+	"samrpart/internal/solver"
+)
+
+// Application supplies the workload: error flags that drive regridding,
+// optional real numerics, and the cost coefficients of the time model.
+type Application interface {
+	// Name identifies the application.
+	Name() string
+	// FlopsPerCell is the floating-point work of one cell update.
+	FlopsPerCell() float64
+	// BytesPerCell is the ghost/redistribution traffic per cell.
+	BytesPerCell() float64
+	// Flags returns per-level error flags for the current hierarchy state
+	// at the given coarse iteration (nil entries mean no flags).
+	Flags(h *amr.Hierarchy, iter int) ([]*amr.FlagField, error)
+	// Advance performs one coarse time step of real numerics, if the
+	// application carries solution data (no-op otherwise).
+	Advance(h *amr.Hierarchy, iter int) error
+	// Regridded tells the application the hierarchy changed so it can
+	// rebuild its solution storage.
+	Regridded(h *amr.Hierarchy) error
+}
+
+// Feature is one moving refinement driver of the synthetic application: a
+// planar front at x = Pos + Speed·iter (level-0 cells) that flags a slab of
+// half-width HalfWidth around itself, reflecting off the domain ends.
+// Pulsate modulates the width over iterations so the total workload varies
+// regrid to regrid, as it does in the paper's figures.
+type Feature struct {
+	Pos       float64
+	Speed     float64
+	HalfWidth float64
+	Pulsate   float64
+}
+
+// positionAt returns the feature position at an iteration, bouncing inside
+// [0, nx).
+func (f Feature) positionAt(iter int, nx float64) float64 {
+	if nx <= 1 {
+		return 0
+	}
+	p := f.Pos + f.Speed*float64(iter)
+	period := 2 * (nx - 1)
+	p = math.Mod(p, period)
+	if p < 0 {
+		p += period
+	}
+	if p > nx-1 {
+		p = period - p
+	}
+	return p
+}
+
+// widthAt returns the flag half-width at an iteration.
+func (f Feature) widthAt(iter int) float64 {
+	w := f.HalfWidth
+	if f.Pulsate > 0 {
+		w *= 1 + f.Pulsate*math.Sin(float64(iter)/4)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// OracleApp drives regridding analytically: shock-like features sweep the
+// domain and flag slabs around themselves on every level. It exercises the
+// identical regrid → cluster → partition pipeline as a real solver at a
+// tiny fraction of the cost, which is what lets the benchmark harness run
+// the paper's 32-node, hundreds-of-iterations experiments. The RM3D
+// configuration models the paper's kernel: one fast shock plus a slower
+// interface feature in a 128x32x32 domain.
+type OracleApp struct {
+	// Features drive refinement.
+	Features []Feature
+	// Flops and Bytes are the time-model coefficients (per cell update and
+	// per ghost cell respectively).
+	Flops float64
+	Bytes float64
+	name  string
+}
+
+// NewRM3DOracle models the paper's Richtmyer–Meshkov kernel on a 128x32x32
+// base grid: a fast shock front and a slower, wider interface feature.
+func NewRM3DOracle() *OracleApp {
+	return &OracleApp{
+		Features: []Feature{
+			{Pos: 20, Speed: 1.5, HalfWidth: 3, Pulsate: 0.25},
+			{Pos: 58, Speed: 0.4, HalfWidth: 5, Pulsate: 0.4},
+		},
+		Flops: 350, // matches solver.Euler3D.FlopsPerCell
+		Bytes: 40,  // 5 fields x 8 bytes
+		name:  "rm3d-oracle",
+	}
+}
+
+// Name implements Application.
+func (o *OracleApp) Name() string {
+	if o.name == "" {
+		return "oracle"
+	}
+	return o.name
+}
+
+// FlopsPerCell implements Application.
+func (o *OracleApp) FlopsPerCell() float64 { return o.Flops }
+
+// BytesPerCell implements Application.
+func (o *OracleApp) BytesPerCell() float64 { return o.Bytes }
+
+// Flags implements Application.
+func (o *OracleApp) Flags(h *amr.Hierarchy, iter int) ([]*amr.FlagField, error) {
+	cfg := h.Config()
+	nx := float64(cfg.Domain.Size(0))
+	nLevels := h.NumLevels()
+	if nLevels > cfg.MaxLevels-1 {
+		nLevels = cfg.MaxLevels - 1
+	}
+	flags := make([]*amr.FlagField, 0, nLevels)
+	for l := 0; l < nLevels || l == 0; l++ {
+		if l >= cfg.MaxLevels-1 {
+			break
+		}
+		f := amr.NewFlagField(h.LevelDomain(l))
+		ratio := 1.0
+		for i := 0; i < l; i++ {
+			ratio *= float64(cfg.RefineRatio)
+		}
+		levelBoxes := h.Level(l)
+		for _, feat := range o.Features {
+			pos := feat.positionAt(iter, nx) * ratio
+			// Features sharpen with level: the flagged slab narrows so
+			// refined regions nest inside coarser ones.
+			hw := feat.widthAt(iter) * ratio / float64(l+1)
+			lo := int(pos - hw)
+			hi := int(pos + hw)
+			slab := h.LevelDomain(l)
+			slab.Lo[0] = lo
+			slab.Hi[0] = hi
+			slab = slab.Intersect(h.LevelDomain(l))
+			if slab.Empty() {
+				continue
+			}
+			// Clip to existing level-l boxes (level 0 covers the domain).
+			for _, b := range levelBoxes {
+				piece := slab.Intersect(b)
+				if piece.Empty() {
+					continue
+				}
+				forEachCell(piece, func(pt geom.Point) { f.Set(pt) })
+			}
+		}
+		flags = append(flags, f)
+	}
+	return flags, nil
+}
+
+// Advance implements Application (no solution data to advance).
+func (o *OracleApp) Advance(h *amr.Hierarchy, iter int) error { return nil }
+
+// Regridded implements Application.
+func (o *OracleApp) Regridded(h *amr.Hierarchy) error { return nil }
+
+// forEachCell visits every cell of a box.
+func forEachCell(b geom.Box, fn func(pt geom.Point)) {
+	var pt geom.Point
+	switch b.Rank {
+	case 1:
+		for x := b.Lo[0]; x <= b.Hi[0]; x++ {
+			fn(geom.Point{x})
+		}
+	case 2:
+		for y := b.Lo[1]; y <= b.Hi[1]; y++ {
+			pt[1] = y
+			for x := b.Lo[0]; x <= b.Hi[0]; x++ {
+				pt[0] = x
+				fn(pt)
+			}
+		}
+	default:
+		for z := b.Lo[2]; z <= b.Hi[2]; z++ {
+			pt[2] = z
+			for y := b.Lo[1]; y <= b.Hi[1]; y++ {
+				pt[1] = y
+				for x := b.Lo[0]; x <= b.Hi[0]; x++ {
+					pt[0] = x
+					fn(pt)
+				}
+			}
+		}
+	}
+}
+
+// SimApp carries real solution data: one patch per hierarchy box, advanced
+// by a solver kernel with Berger–Oliger subcycling, halo exchange,
+// prolongation and restriction. Flags come from the kernel's error
+// estimator, so refinement follows the physics.
+type SimApp struct {
+	Kernel solver.Kernel
+	// BaseGrid is the level-0 cell geometry.
+	BaseGrid solver.Grid
+	// Threshold is the error-estimator flag threshold.
+	Threshold float64
+
+	// patches is the HDDA holding one solution patch per hierarchy box —
+	// the GrACE layering: application grid objects on the hierarchical
+	// distributed dynamic array substrate.
+	patches *hdda.Array[*amr.Patch]
+}
+
+// NewSimApp builds a kernel-backed application.
+func NewSimApp(k solver.Kernel, baseGrid solver.Grid, threshold float64) *SimApp {
+	return &SimApp{Kernel: k, BaseGrid: baseGrid, Threshold: threshold}
+}
+
+// Name implements Application.
+func (s *SimApp) Name() string { return s.Kernel.Name() }
+
+// FlopsPerCell implements Application.
+func (s *SimApp) FlopsPerCell() float64 { return s.Kernel.FlopsPerCell() }
+
+// BytesPerCell implements Application.
+func (s *SimApp) BytesPerCell() float64 { return float64(s.Kernel.NumFields() * 8) }
+
+// grid returns the cell geometry of a level.
+func (s *SimApp) grid(h *amr.Hierarchy, level int) solver.Grid {
+	g := s.BaseGrid
+	for l := 0; l < level; l++ {
+		g = g.Refined(h.Config().RefineRatio)
+	}
+	return g
+}
+
+// ExportPatches implements Checkpointer: a snapshot of all solution
+// patches keyed by box.
+func (s *SimApp) ExportPatches() map[geom.Box]*amr.Patch {
+	out := map[geom.Box]*amr.Patch{}
+	if s.patches == nil {
+		return out
+	}
+	s.patches.Range(func(b geom.Box, p *amr.Patch) bool {
+		out[b] = p
+		return true
+	})
+	return out
+}
+
+// ImportPatches implements Checkpointer: replace the solution storage with
+// the given patches (used when restoring a checkpoint; the hierarchy must
+// be restored separately before the next Regridded call).
+func (s *SimApp) ImportPatches(patches map[geom.Box]*amr.Patch, domain geom.Box, refineRatio int) {
+	space := hdda.NewIndexSpace(sfc.Hilbert{}, domain, refineRatio)
+	s.patches = hdda.NewArray[*amr.Patch](space)
+	for b, p := range patches {
+		s.patches.Put(b, p)
+	}
+}
+
+// Patch exposes the solution patch stored for a box (tests and examples).
+func (s *SimApp) Patch(b geom.Box) (*amr.Patch, bool) {
+	if s.patches == nil {
+		return nil, false
+	}
+	return s.patches.Get(b)
+}
+
+// patch returns the stored patch or an error naming the box.
+func (s *SimApp) patch(b geom.Box) (*amr.Patch, error) {
+	p, ok := s.patches.Get(b)
+	if !ok {
+		return nil, fmt.Errorf("engine: no patch for %v", b)
+	}
+	return p, nil
+}
+
+// Regridded implements Application: (re)build patch storage for the new
+// hierarchy, initializing new patches by prolongation from the parent level
+// and copying overlaps from surviving same-level patches.
+func (s *SimApp) Regridded(h *amr.Hierarchy) error {
+	cfg := h.Config()
+	old := s.patches
+	space := hdda.NewIndexSpace(sfc.Hilbert{}, cfg.Domain, cfg.RefineRatio)
+	if old != nil {
+		space = old.Space()
+	}
+	s.patches = hdda.NewArray[*amr.Patch](space)
+	for l := 0; l < h.NumLevels(); l++ {
+		for _, b := range h.Level(l) {
+			if old != nil {
+				if p, ok := old.Get(b); ok {
+					s.patches.Put(b, p)
+					continue
+				}
+			}
+			p := amr.NewPatch(b, s.Kernel.Ghost(), s.Kernel.NumFields())
+			if l == 0 {
+				s.Kernel.Init(p, s.grid(h, 0))
+			} else {
+				// Parent data first (new region), then same-level overlap
+				// (finer history wins where it exists).
+				for _, cb := range h.Level(l - 1) {
+					if cp, ok := s.patches.Get(cb); ok {
+						amr.Prolong(p, cp, cfg.RefineRatio)
+					}
+				}
+				if old != nil {
+					old.Range(func(ob geom.Box, op *amr.Patch) bool {
+						if ob.Level == l {
+							amr.CopyOverlap(p, op)
+						}
+						return true
+					})
+				}
+			}
+			s.patches.Put(b, p)
+		}
+	}
+	return nil
+}
+
+// Flags implements Application: run the kernel's error estimator over every
+// level that can host a child.
+func (s *SimApp) Flags(h *amr.Hierarchy, iter int) ([]*amr.FlagField, error) {
+	cfg := h.Config()
+	var flags []*amr.FlagField
+	for l := 0; l < h.NumLevels() && l < cfg.MaxLevels-1; l++ {
+		f := amr.NewFlagField(h.LevelDomain(l))
+		g := s.grid(h, l)
+		// The estimator's stencil reads halo cells; refresh them first.
+		s.fillHalos(h, l)
+		for _, b := range h.Level(l) {
+			p, err := s.patch(b)
+			if err != nil {
+				return nil, err
+			}
+			s.Kernel.Flag(p, g, f, s.Threshold)
+		}
+		f.Buffer(1)
+		flags = append(flags, f)
+	}
+	return flags, nil
+}
+
+// Advance implements Application: one coarse step with Berger–Oliger
+// subcycling. The coarse dt is the stability minimum over all levels.
+func (s *SimApp) Advance(h *amr.Hierarchy, iter int) error {
+	cfg := h.Config()
+	ratio := cfg.RefineRatio
+	dt0 := math.Inf(1)
+	for l := 0; l < h.NumLevels(); l++ {
+		g := s.grid(h, l)
+		scale := float64(amr.StepsPerCoarse(l, ratio))
+		for _, b := range h.Level(l) {
+			p, err := s.patch(b)
+			if err != nil {
+				return err
+			}
+			if dt := s.Kernel.MaxDT(p, g) * scale; dt < dt0 {
+				dt0 = dt
+			}
+		}
+	}
+	if math.IsInf(dt0, 1) {
+		dt0 = 0
+	}
+	for _, l := range amr.Schedule(h.NumLevels(), ratio) {
+		if err := s.stepLevel(h, l, dt0/float64(amr.StepsPerCoarse(l, ratio))); err != nil {
+			return err
+		}
+	}
+	// Restrict updated fine solutions onto their parents, finest first.
+	for l := h.NumLevels() - 1; l > 0; l-- {
+		for _, cb := range h.Level(l - 1) {
+			cp, err := s.patch(cb)
+			if err != nil {
+				return err
+			}
+			for _, fb := range h.Level(l) {
+				fp, err := s.patch(fb)
+				if err != nil {
+					return err
+				}
+				amr.Restrict(cp, fp, ratio)
+			}
+		}
+	}
+	return nil
+}
+
+// stepLevel advances every patch of one level by dt. Halo priority, lowest
+// to highest: outflow extrapolation (physical boundary fallback), parent
+// prolongation (coarse-fine boundaries), same-level neighbor copies.
+func (s *SimApp) stepLevel(h *amr.Hierarchy, level int, dt float64) error {
+	s.fillHalos(h, level)
+	g := s.grid(h, level)
+	for _, b := range h.Level(level) {
+		p, err := s.patch(b)
+		if err != nil {
+			return err
+		}
+		next := amr.NewPatch(b, p.Ghost, p.NumFields)
+		s.Kernel.Step(next, p, g, dt)
+		s.patches.Put(b, next)
+	}
+	return nil
+}
+
+// fillHalos refreshes the halo cells of every patch on a level. Priority,
+// lowest to highest: outflow extrapolation (physical boundary fallback),
+// parent prolongation (coarse-fine boundaries), same-level neighbor copies.
+func (s *SimApp) fillHalos(h *amr.Hierarchy, level int) {
+	ratio := h.Config().RefineRatio
+	boxes := h.Level(level)
+	for _, b := range boxes {
+		p, ok := s.patches.Get(b)
+		if !ok {
+			continue
+		}
+		solver.ApplyOutflowBC(p)
+		if level > 0 {
+			// Prolong writes everywhere under a parent patch, so save the
+			// fine interior (the authoritative data) and restore it after.
+			saved := amr.NewPatch(b, 0, p.NumFields)
+			amr.CopyOverlap(saved, p)
+			for _, cb := range h.Level(level - 1) {
+				if cp, ok := s.patches.Get(cb); ok {
+					amr.Prolong(p, cp, ratio)
+				}
+			}
+			amr.CopyOverlap(p, saved)
+		}
+		for _, nb := range boxes {
+			if nb.Equal(b) {
+				continue
+			}
+			if np, ok := s.patches.Get(nb); ok {
+				amr.CopyOverlap(p, np)
+			}
+		}
+	}
+}

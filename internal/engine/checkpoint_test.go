@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/checkpoint"
+	"samrpart/internal/geom"
+	"samrpart/internal/partition"
+	"samrpart/internal/solver"
+)
+
+func advectionConfig() Config {
+	return Config{
+		Hierarchy: amr.Config{
+			Domain:        geom.Box2(0, 0, 31, 31),
+			RefineRatio:   2,
+			MaxLevels:     2,
+			NestingBuffer: 1,
+			Cluster:       amr.ClusterOptions{Efficiency: 0.6, MinSide: 2},
+		},
+		App:         NewSimApp(solver.NewAdvection2D(1.0, 0.4, 0.25, 0.25, 0.08), solver.UniformGrid(1.0/32), 0.08),
+		Partitioner: partition.NewHetero(),
+		Iterations:  6,
+		RegridEvery: 2,
+	}
+}
+
+func TestEngineCheckpointRestore(t *testing.T) {
+	// Run, checkpoint, serialize, restore into a new engine, continue.
+	clus := newCluster(t, 2)
+	cfg := advectionConfig()
+	e, err := New(cfg, clus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Checkpoint(cfg.Iterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Patches == nil || len(st.Patches) == 0 {
+		t.Fatal("SimApp checkpoint has no patches")
+	}
+	var buf bytes.Buffer
+	if err := checkpoint.Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := checkpoint.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clus2 := newCluster(t, 2)
+	cfg2 := advectionConfig()
+	e2, err := New(cfg2, clus2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Restore(restored); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Hierarchy().NumLevels() != st.Hierarchy.NumLevels() {
+		t.Fatal("restored hierarchy depth differs")
+	}
+	// The restored app serves the checkpointed data.
+	app := cfg2.App.(*SimApp)
+	for b, want := range restored.Patches {
+		got, ok := app.Patch(b)
+		if !ok {
+			t.Fatalf("restored app missing patch %v", b)
+		}
+		if got.At(0, b.Lo) != want.At(0, b.Lo) {
+			t.Fatalf("restored patch %v data differs", b)
+		}
+	}
+	// The continued run executes cleanly on the restored state.
+	if _, err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Hierarchy().NumLevels() < 1 {
+		t.Error("continued run lost the hierarchy")
+	}
+}
+
+func TestCheckpointOracleHasNoPatches(t *testing.T) {
+	clus := newCluster(t, 2)
+	cfg := baseConfig()
+	cfg.Iterations = 5
+	e, err := New(cfg, clus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Checkpoint(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Patches != nil {
+		t.Error("oracle app should checkpoint structure only")
+	}
+	if st.VirtualTime <= 0 {
+		t.Error("virtual time not captured")
+	}
+}
+
+func TestRestoreRejectsMismatchedConfig(t *testing.T) {
+	clus := newCluster(t, 2)
+	cfg := advectionConfig()
+	e, _ := New(cfg, clus)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := e.Checkpoint(cfg.Iterations)
+
+	other := advectionConfig()
+	other.Hierarchy.Domain = geom.Box2(0, 0, 63, 63)
+	e2, err := New(other, newCluster(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Restore(st); err == nil {
+		t.Error("mismatched domain accepted")
+	}
+}

@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"fmt"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/capacity"
+	"samrpart/internal/cluster"
+	"samrpart/internal/monitor"
+	"samrpart/internal/partition"
+	"samrpart/internal/trace"
+)
+
+// Config describes one experiment run.
+type Config struct {
+	// Name labels the run in traces.
+	Name string
+	// Hierarchy configures the AMR grid hierarchy.
+	Hierarchy amr.Config
+	// App supplies flags, optional numerics, and cost coefficients.
+	App Application
+	// Partitioner distributes the bounding-box list.
+	Partitioner partition.Partitioner
+	// Weights configure the capacity metric (default: equal).
+	Weights capacity.Weights
+	// Iterations is the number of coarse time steps to run.
+	Iterations int
+	// RegridEvery regrids (and repartitions) every N iterations (the
+	// paper regrids every 5). Must be >= 1.
+	RegridEvery int
+	// SenseEvery re-senses system state every N iterations; 0 senses only
+	// once before the run starts (the paper's "static" configuration).
+	SenseEvery int
+	// Forecaster names the monitor's per-resource forecaster ("last",
+	// "mean", "median", "ewma", "adaptive"). Empty selects "last": the
+	// paper's capacity calculator distributes on the *current* system
+	// state as reported by NWS.
+	Forecaster string
+}
+
+func (c Config) validate() error {
+	if c.App == nil {
+		return fmt.Errorf("engine: nil application")
+	}
+	if c.Partitioner == nil {
+		return fmt.Errorf("engine: nil partitioner")
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("engine: iterations %d < 1", c.Iterations)
+	}
+	if c.RegridEvery < 1 {
+		return fmt.Errorf("engine: regrid interval %d < 1", c.RegridEvery)
+	}
+	if c.SenseEvery < 0 {
+		return fmt.Errorf("engine: negative sense interval")
+	}
+	return c.Hierarchy.Validate()
+}
+
+// Engine executes an adaptive application on the virtual cluster: the
+// GrACE-style loop of integrate → regrid → sense → partition →
+// redistribute, with all costs charged to the cluster's virtual clock.
+type Engine struct {
+	cfg  Config
+	clus *cluster.Cluster
+	mon  *monitor.Monitor
+	hier *amr.Hierarchy
+
+	caps        []float64
+	assign      *partition.Assignment
+	tr          *trace.RunTrace
+	busySeconds []float64
+}
+
+// New builds an engine on the given cluster with an adaptive-forecast
+// monitor.
+func New(cfg Config, clus *cluster.Cluster) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Weights == (capacity.Weights{}) {
+		cfg.Weights = capacity.EqualWeights()
+	}
+	h, err := amr.New(cfg.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	fname := cfg.Forecaster
+	if fname == "" {
+		fname = "last"
+	}
+	if _, err := monitor.NewForecaster(fname); err != nil {
+		return nil, err
+	}
+	mon := monitor.New(monitor.ClusterProber{C: clus}, func() monitor.Forecaster {
+		f, _ := monitor.NewForecaster(fname)
+		return f
+	})
+	return &Engine{
+		cfg:  cfg,
+		clus: clus,
+		mon:  mon,
+		hier: h,
+	}, nil
+}
+
+// Hierarchy exposes the current grid hierarchy.
+func (e *Engine) Hierarchy() *amr.Hierarchy { return e.hier }
+
+// Assignment exposes the current partition (nil before Run).
+func (e *Engine) Assignment() *partition.Assignment { return e.assign }
+
+// Capacities exposes the capacities in effect (nil before Run).
+func (e *Engine) Capacities() []float64 { return e.caps }
+
+// work returns the box weight function for the hierarchy.
+func (e *Engine) work() partition.WorkFunc {
+	return partition.SubcycledWork(e.cfg.Hierarchy.RefineRatio)
+}
+
+// sense probes the monitor, recomputes capacities and charges the probe
+// cost.
+func (e *Engine) sense() error {
+	ms := e.mon.Sense(e.clus.Now())
+	caps, err := capacity.Relative(ms, e.cfg.Weights)
+	if err != nil {
+		return fmt.Errorf("engine: capacity: %w", err)
+	}
+	e.caps = caps
+	cost := e.clus.SenseTime()
+	e.clus.Advance(cost)
+	e.tr.SenseTime += cost
+	e.tr.Senses++
+	return nil
+}
+
+// repartition runs the partitioner over the current hierarchy, charges the
+// regrid/redistribution costs, and records the assignment.
+func (e *Engine) repartition(iter int) error {
+	boxes := e.hier.AllBoxes()
+	assign, err := e.cfg.Partitioner.Partition(boxes, e.caps, e.work())
+	if err != nil {
+		return fmt.Errorf("engine: partition: %w", err)
+	}
+	// Redistribution cost: cells whose owner changed move over the wire.
+	if e.assign != nil {
+		moved := movedBytes(e.assign, assign, e.cfg.App.BytesPerCell(), e.clus.NumNodes())
+		maxT := 0.0
+		for k, bytes := range moved {
+			if bytes == 0 {
+				continue
+			}
+			e.tr.MovedBytes += bytes
+			if t := e.clus.CommTime(k, bytes, 1+int(bytes/65536)); t > maxT {
+				maxT = t
+			}
+		}
+		e.clus.Advance(maxT)
+		e.tr.CommTime += maxT
+	}
+	cost := e.clus.Params().RegridCostSec
+	e.clus.Advance(cost)
+	e.tr.RegridTime += cost
+	e.assign = assign
+	e.tr.Records = append(e.tr.Records, trace.AssignmentRecord{
+		Regrid:      len(e.tr.Records) + 1,
+		Iter:        iter,
+		VirtualTime: e.clus.Now(),
+		Caps:        append([]float64(nil), e.caps...),
+		Work:        append([]float64(nil), assign.Work...),
+		Ideal:       append([]float64(nil), assign.Ideal...),
+		Boxes:       len(assign.Boxes),
+	})
+	return nil
+}
+
+// movedBytes returns, per destination node, the bytes that change owner
+// between two assignments.
+func movedBytes(old, new *partition.Assignment, bytesPerCell float64, nodes int) []float64 {
+	out := make([]float64, nodes)
+	for i, nb := range new.Boxes {
+		newOwner := new.Owners[i]
+		for j, ob := range old.Boxes {
+			if ob.Level != nb.Level || old.Owners[j] == newOwner {
+				continue
+			}
+			overlap := nb.Intersect(ob)
+			if !overlap.Empty() {
+				out[newOwner] += float64(overlap.Cells()) * bytesPerCell
+			}
+		}
+	}
+	return out
+}
+
+// stepCost computes the virtual-time cost of one coarse iteration under the
+// current assignment: the slowest node's compute plus ghost-exchange time.
+// stepCost also returns each node's compute time so Run can accumulate
+// utilization.
+func (e *Engine) stepCost() (compute, comm float64, perNode []float64) {
+	nodes := e.clus.NumNodes()
+	flops := make([]float64, nodes)
+	bytes := make([]float64, nodes)
+	resident := make([]float64, nodes) // working set, MB
+	msgs := make([]int, nodes)
+	work := e.work()
+	fpc := e.cfg.App.FlopsPerCell()
+	bpc := e.cfg.App.BytesPerCell()
+	ratio := e.cfg.Hierarchy.RefineRatio
+	ghost := 1
+	boxes := e.assign.Boxes
+	owners := e.assign.Owners
+	for i, b := range boxes {
+		flops[owners[i]] += work(b) * fpc
+		resident[owners[i]] += float64(b.Cells()) * bpc / 1e6
+		// Ghost traffic: halo overlap with same-level boxes on other
+		// nodes, exchanged once per sub-step of this level.
+		grown := b.Grow(ghost)
+		subSteps := float64(amr.StepsPerCoarse(b.Level, ratio))
+		for j, nb := range boxes {
+			if i == j || nb.Level != b.Level || owners[j] == owners[i] {
+				continue
+			}
+			overlap := grown.Intersect(nb)
+			if overlap.Empty() {
+				continue
+			}
+			bytes[owners[i]] += float64(overlap.Cells()) * bpc * subSteps
+			msgs[owners[i]] += int(subSteps)
+		}
+	}
+	perNode = make([]float64, nodes)
+	for k := 0; k < nodes; k++ {
+		c := e.clus.ComputeTimeMem(k, flops[k]/1e6, resident[k])
+		perNode[k] = c
+		if c > compute {
+			compute = c
+		}
+		if bytes[k] > 0 {
+			if c := e.clus.CommTime(k, bytes[k], msgs[k]); c > comm {
+				comm = c
+			}
+		}
+	}
+	return compute, comm, perNode
+}
+
+// Run executes the configured experiment and returns its trace.
+func (e *Engine) Run() (*trace.RunTrace, error) {
+	e.tr = &trace.RunTrace{
+		Name:       e.cfg.Name,
+		Nodes:      e.clus.NumNodes(),
+		Iterations: e.cfg.Iterations,
+	}
+	if e.tr.Name == "" {
+		e.tr.Name = fmt.Sprintf("%s/%s", e.cfg.App.Name(), e.cfg.Partitioner.Name())
+	}
+	if err := e.cfg.App.Regridded(e.hier); err != nil {
+		return nil, err
+	}
+	start := e.clus.Now()
+	// Initial sensing + partition (the paper always senses at least once
+	// before the start of the simulation, and its execution times include
+	// the sensing overhead).
+	if err := e.sense(); err != nil {
+		return nil, err
+	}
+	if err := e.regridAndPartition(0); err != nil {
+		return nil, err
+	}
+	for iter := 0; iter < e.cfg.Iterations; iter++ {
+		if e.cfg.SenseEvery > 0 && iter > 0 && iter%e.cfg.SenseEvery == 0 {
+			if err := e.sense(); err != nil {
+				return nil, err
+			}
+			// Fresh capacities take effect immediately: redistribute.
+			if err := e.repartition(iter); err != nil {
+				return nil, err
+			}
+		}
+		if iter > 0 && iter%e.cfg.RegridEvery == 0 {
+			if err := e.regridAndPartition(iter); err != nil {
+				return nil, err
+			}
+		}
+		if err := e.cfg.App.Advance(e.hier, iter); err != nil {
+			return nil, err
+		}
+		compute, comm, perNode := e.stepCost()
+		e.clus.Advance(compute + comm)
+		e.tr.ComputeTime += compute
+		e.tr.CommTime += comm
+		if e.tr.Utilization == nil {
+			e.tr.Utilization = make([]float64, len(perNode))
+			e.busySeconds = make([]float64, len(perNode))
+		}
+		for k, c := range perNode {
+			e.busySeconds[k] += c
+		}
+	}
+	if e.tr.ComputeTime > 0 {
+		for k := range e.tr.Utilization {
+			e.tr.Utilization[k] = e.busySeconds[k] / e.tr.ComputeTime
+		}
+	}
+	e.tr.ExecTime = e.clus.Now() - start
+	return e.tr, nil
+}
+
+// regridAndPartition runs the flag → regrid → partition pipeline.
+func (e *Engine) regridAndPartition(iter int) error {
+	flags, err := e.cfg.App.Flags(e.hier, iter)
+	if err != nil {
+		return err
+	}
+	if err := e.hier.Regrid(flags); err != nil {
+		return err
+	}
+	if err := e.cfg.App.Regridded(e.hier); err != nil {
+		return err
+	}
+	return e.repartition(iter)
+}

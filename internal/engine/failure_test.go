@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/capacity"
+	"samrpart/internal/geom"
+	"samrpart/internal/partition"
+)
+
+// failingApp wraps the oracle and injects an error into one hook.
+type failingApp struct {
+	*OracleApp
+	failFlags    bool
+	failAdvance  bool
+	failRegrid   bool
+	triggerAfter int
+	calls        int
+}
+
+var errInjected = errors.New("injected failure")
+
+func (f *failingApp) Flags(h *amr.Hierarchy, iter int) ([]*amr.FlagField, error) {
+	if f.failFlags {
+		f.calls++
+		if f.calls > f.triggerAfter {
+			return nil, errInjected
+		}
+	}
+	return f.OracleApp.Flags(h, iter)
+}
+
+func (f *failingApp) Advance(h *amr.Hierarchy, iter int) error {
+	if f.failAdvance {
+		f.calls++
+		if f.calls > f.triggerAfter {
+			return errInjected
+		}
+	}
+	return nil
+}
+
+func (f *failingApp) Regridded(h *amr.Hierarchy) error {
+	if f.failRegrid {
+		f.calls++
+		if f.calls > f.triggerAfter {
+			return errInjected
+		}
+	}
+	return nil
+}
+
+func TestEnginePropagatesAppErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		app  *failingApp
+	}{
+		{"flags", &failingApp{OracleApp: NewRM3DOracle(), failFlags: true, triggerAfter: 1}},
+		{"advance", &failingApp{OracleApp: NewRM3DOracle(), failAdvance: true, triggerAfter: 3}},
+		{"regridded", &failingApp{OracleApp: NewRM3DOracle(), failRegrid: true, triggerAfter: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			clus := newCluster(t, 2)
+			cfg := baseConfig()
+			cfg.App = c.app
+			e, err := New(cfg, clus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Run(); !errors.Is(err, errInjected) {
+				t.Errorf("Run err = %v, want injected failure", err)
+			}
+		})
+	}
+}
+
+// failingPartitioner errors after N successful calls.
+type failingPartitioner struct {
+	after int
+	calls int
+}
+
+func (f *failingPartitioner) Name() string { return "failing" }
+func (f *failingPartitioner) Partition(boxes geom.BoxList, caps []float64, work partition.WorkFunc) (*partition.Assignment, error) {
+	f.calls++
+	if f.calls > f.after {
+		return nil, errInjected
+	}
+	return partition.NewHetero().Partition(boxes, caps, work)
+}
+
+func TestEnginePropagatesPartitionerErrors(t *testing.T) {
+	clus := newCluster(t, 2)
+	cfg := baseConfig()
+	cfg.Partitioner = &failingPartitioner{after: 2}
+	e, err := New(cfg, clus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run()
+	if err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Errorf("Run err = %v", err)
+	}
+}
+
+func TestEngineRejectsUnknownForecaster(t *testing.T) {
+	clus := newCluster(t, 2)
+	cfg := baseConfig()
+	cfg.Forecaster = "oracle-of-delphi"
+	if _, err := New(cfg, clus); err == nil {
+		t.Error("unknown forecaster accepted")
+	}
+}
+
+func TestEngineInvalidWeights(t *testing.T) {
+	clus := newCluster(t, 2)
+	cfg := baseConfig()
+	cfg.Weights = capacity.Weights{CPU: 2, Memory: 0, Bandwidth: 0}
+	e, err := New(cfg, clus)
+	if err != nil {
+		t.Fatal(err) // weights validated at sense time via capacity.Relative
+	}
+	if _, err := e.Run(); err == nil {
+		t.Error("invalid weights survived Run")
+	}
+}
+
+func TestEngineNodeCollapseStillRuns(t *testing.T) {
+	// A node pinned at the availability floor must not wedge the run.
+	clus := newCluster(t, 4)
+	clus.Node(0).AddLoad(stuckLoad{})
+	cfg := baseConfig()
+	cfg.Iterations = 10
+	e, err := New(cfg, clus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ExecTime <= 0 {
+		t.Error("no progress with a collapsed node")
+	}
+	// The collapsed node still gets a tiny share (capacities never zero
+	// thanks to the availability floor).
+	if caps := e.Capacities(); caps[0] <= 0 || caps[0] > 0.2 {
+		t.Errorf("collapsed node capacity = %v", caps[0])
+	}
+}
+
+// stuckLoad consumes all CPU and memory forever.
+type stuckLoad struct{}
+
+func (stuckLoad) CPULoad(t float64) float64  { return 1.0 }
+func (stuckLoad) MemoryMB(t float64) float64 { return 1e6 }

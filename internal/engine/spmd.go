@@ -1,0 +1,392 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/geom"
+	"samrpart/internal/partition"
+	"samrpart/internal/solver"
+	"samrpart/internal/transport"
+)
+
+// SPMDConfig configures a genuinely parallel single-level (domain
+// decomposed) run over a transport group: every rank owns the patches the
+// partitioner assigns it, exchanges ghost regions with neighbors through the
+// transport, agrees on a global stable dt, and redistributes patch data when
+// the capacities change. The multi-level AMR pipeline runs in-process in
+// SimApp; this runner demonstrates and tests the distributed substrate
+// (transport + partition + redistribution) with real numerics.
+type SPMDConfig struct {
+	// Domain is the computational domain, pre-split into Tiles x Tiles...
+	// boxes to give the partitioner granularity.
+	Domain geom.Box
+	// TileSize is the edge length of the fixed decomposition tiles.
+	TileSize int
+	// Kernel and BaseGrid define the numerics.
+	Kernel   solver.Kernel
+	BaseGrid solver.Grid
+	// Partitioner distributes the tiles (capacity aware).
+	Partitioner partition.Partitioner
+	// CapsAt returns the relative capacities at an iteration; it must be
+	// identical on every rank (e.g. driven by the shared monitor). Called
+	// at iteration 0 and every RepartEvery iterations.
+	CapsAt func(iter int) []float64
+	// Iterations is the number of time steps.
+	Iterations int
+	// RepartEvery repartitions every N iterations (0 = never after start).
+	RepartEvery int
+	// DT fixes the time step; 0 derives a global stable dt each step.
+	DT float64
+}
+
+// SPMDResult reports one rank's outcome.
+type SPMDResult struct {
+	Rank       int
+	OwnedBoxes geom.BoxList
+	// L1Sum is Σ|u| over owned interiors (field 0), a cheap global check.
+	L1Sum float64
+	// BytesSent counts transport payload bytes this rank sent.
+	BytesSent int64
+	// Repartitions counts how many times ownership changed hands.
+	Repartitions int
+}
+
+func (c SPMDConfig) validate() error {
+	if c.Domain.Empty() {
+		return fmt.Errorf("engine: spmd empty domain")
+	}
+	if c.TileSize < 1 {
+		return fmt.Errorf("engine: spmd tile size %d", c.TileSize)
+	}
+	if c.Kernel == nil || c.Partitioner == nil || c.CapsAt == nil {
+		return fmt.Errorf("engine: spmd missing kernel/partitioner/caps")
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("engine: spmd iterations %d", c.Iterations)
+	}
+	return nil
+}
+
+// tiles decomposes the domain into fixed tiles.
+func (c SPMDConfig) tiles() geom.BoxList {
+	var out geom.BoxList
+	d := c.Domain
+	switch d.Rank {
+	case 2:
+		for y := d.Lo[1]; y <= d.Hi[1]; y += c.TileSize {
+			for x := d.Lo[0]; x <= d.Hi[0]; x += c.TileSize {
+				b := geom.Box2(x, y, min(x+c.TileSize-1, d.Hi[0]), min(y+c.TileSize-1, d.Hi[1]))
+				out = append(out, b)
+			}
+		}
+	default:
+		for z := d.Lo[2]; z <= d.Hi[2]; z += c.TileSize {
+			for y := d.Lo[1]; y <= d.Hi[1]; y += c.TileSize {
+				for x := d.Lo[0]; x <= d.Hi[0]; x += c.TileSize {
+					b := geom.Box3(x, y, z,
+						min(x+c.TileSize-1, d.Hi[0]),
+						min(y+c.TileSize-1, d.Hi[1]),
+						min(z+c.TileSize-1, d.Hi[2]))
+					out = append(out, b)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// wireAssignment is the broadcast form of an assignment.
+type wireAssignment struct {
+	Boxes  []geom.Box
+	Owners []int
+}
+
+// RunSPMDRank executes one rank of the SPMD program. Every rank must call
+// it with the same config and its own endpoint; rank 0 coordinates
+// partitioning decisions.
+func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &SPMDResult{Rank: ep.Rank()}
+	k := cfg.Kernel
+	// --- Initial partition (computed identically on every rank; tiles and
+	// capacities are deterministic, so no broadcast is strictly needed,
+	// but rank 0 broadcasts to guarantee agreement).
+	assign, err := cfg.partitionAt(ep, 0, res)
+	if err != nil {
+		return nil, err
+	}
+	// Allocate + init owned patches.
+	patches := map[geom.Box]*amr.Patch{}
+	for i, b := range assign.Boxes {
+		if assign.Owners[i] != ep.Rank() {
+			continue
+		}
+		p := amr.NewPatch(b, k.Ghost(), k.NumFields())
+		k.Init(p, cfg.BaseGrid)
+		patches[b] = p
+	}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// Repartition on schedule.
+		if cfg.RepartEvery > 0 && iter > 0 && iter%cfg.RepartEvery == 0 {
+			newAssign, err := cfg.partitionAt(ep, iter, res)
+			if err != nil {
+				return nil, err
+			}
+			patches, err = redistribute(ep, assign, newAssign, patches, k, iter, res)
+			if err != nil {
+				return nil, err
+			}
+			assign = newAssign
+			res.Repartitions++
+		}
+		// Ghost exchange.
+		if err := exchangeGhosts(ep, assign, patches, k.Ghost(), iter, res); err != nil {
+			return nil, err
+		}
+		// Global stable dt.
+		dt := cfg.DT
+		if dt == 0 {
+			local := math.Inf(1)
+			for _, p := range patches {
+				if d := k.MaxDT(p, cfg.BaseGrid); d < local {
+					local = d
+				}
+			}
+			dt, err = transport.AllReduceFloat64(ep, local, transport.ReduceMin)
+			if err != nil {
+				return nil, err
+			}
+			if math.IsInf(dt, 1) {
+				dt = 0
+			}
+		}
+		// Step.
+		for b, p := range patches {
+			next := amr.NewPatch(b, p.Ghost, p.NumFields)
+			k.Step(next, p, cfg.BaseGrid, dt)
+			patches[b] = next
+		}
+	}
+	// Result.
+	for b, p := range patches {
+		res.OwnedBoxes = append(res.OwnedBoxes, b)
+		sum := 0.0
+		p.EachInterior(func(pt geom.Point) { sum += math.Abs(p.At(0, pt)) })
+		res.L1Sum += sum
+	}
+	return res, nil
+}
+
+// partitionAt computes capacities and the assignment for an iteration; rank
+// 0 broadcasts the result so every rank uses identical ownership.
+func (c SPMDConfig) partitionAt(ep transport.Endpoint, iter int, res *SPMDResult) (*partition.Assignment, error) {
+	var wire wireAssignment
+	if ep.Rank() == 0 {
+		caps := c.CapsAt(iter)
+		a, err := c.Partitioner.Partition(c.tiles(), caps, partition.CellWork)
+		if err != nil {
+			return nil, err
+		}
+		wire = wireAssignment{Boxes: a.Boxes, Owners: a.Owners}
+	}
+	payload, err := transport.EncodeGob(wire)
+	if err != nil {
+		return nil, err
+	}
+	if ep.Rank() == 0 {
+		res.BytesSent += int64(len(payload)) * int64(ep.Size()-1)
+	}
+	got, err := ep.Bcast(0, payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := transport.DecodeGob(got, &wire); err != nil {
+		return nil, err
+	}
+	a := &partition.Assignment{
+		Boxes:  wire.Boxes,
+		Owners: wire.Owners,
+		Work:   make([]float64, ep.Size()),
+		Ideal:  make([]float64, ep.Size()),
+	}
+	for i, b := range a.Boxes {
+		a.Work[a.Owners[i]] += partition.CellWork(b)
+	}
+	return a, nil
+}
+
+// extract serializes the values of region (all fields) from a patch.
+func extract(p *amr.Patch, region geom.Box) []float64 {
+	out := make([]float64, 0, int(region.Cells())*p.NumFields)
+	for f := 0; f < p.NumFields; f++ {
+		forEachCell(region, func(pt geom.Point) {
+			out = append(out, p.At(f, pt))
+		})
+	}
+	return out
+}
+
+// apply writes serialized region values into a patch.
+func apply(p *amr.Patch, region geom.Box, data []float64) error {
+	want := int(region.Cells()) * p.NumFields
+	if len(data) != want {
+		return fmt.Errorf("engine: region payload has %d values, want %d", len(data), want)
+	}
+	i := 0
+	for f := 0; f < p.NumFields; f++ {
+		forEachCell(region, func(pt geom.Point) {
+			p.Set(f, pt, data[i])
+			i++
+		})
+	}
+	return nil
+}
+
+// exchangeGhosts fills every owned patch's halo: outflow fallback, local
+// neighbor copies, then remote regions received over the transport. The
+// transfer list is derived deterministically from the assignment on every
+// rank (sends first, then receives; the transport buffers sends).
+func exchangeGhosts(ep transport.Endpoint, a *partition.Assignment, patches map[geom.Box]*amr.Patch, ghost int, iter int, res *SPMDResult) error {
+	me := ep.Rank()
+	for _, p := range patches {
+		solver.ApplyOutflowBC(p)
+	}
+	// Local copies.
+	for _, p := range patches {
+		for _, q := range patches {
+			if p != q {
+				amr.CopyOverlap(p, q)
+			}
+		}
+	}
+	// Remote transfers: for each (dst i, src j) pair with grown(i) ∩ j
+	// non-empty and different owners.
+	type pending struct {
+		dst    geom.Box
+		region geom.Box
+		from   int
+		tag    string
+	}
+	var recvs []pending
+	for i, bi := range a.Boxes {
+		oi := a.Owners[i]
+		grown := bi.Grow(ghost)
+		for j, bj := range a.Boxes {
+			oj := a.Owners[j]
+			if i == j || oi == oj {
+				continue
+			}
+			region := grown.Intersect(bj)
+			if region.Empty() {
+				continue
+			}
+			tag := fmt.Sprintf("g%d-%d-%d", iter, i, j)
+			switch me {
+			case oj: // I own the source: send region values.
+				payload, err := transport.EncodeGob(extract(patches[bj], region))
+				if err != nil {
+					return err
+				}
+				if err := ep.Send(oi, tag, payload); err != nil {
+					return err
+				}
+				res.BytesSent += int64(len(payload))
+			case oi: // I own the destination: receive later.
+				recvs = append(recvs, pending{dst: bi, region: region, from: oj, tag: tag})
+			}
+		}
+	}
+	for _, r := range recvs {
+		payload, err := ep.Recv(r.from, r.tag)
+		if err != nil {
+			return err
+		}
+		var data []float64
+		if err := transport.DecodeGob(payload, &data); err != nil {
+			return err
+		}
+		if err := apply(patches[r.dst], r.region, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// redistribute moves patch interiors to their new owners after a
+// repartition. New-assignment boxes may be split differently than the old
+// ones, so transfers are per overlapping (old, new) pair.
+func redistribute(ep transport.Endpoint, old, new_ *partition.Assignment, patches map[geom.Box]*amr.Patch, k solver.Kernel, iter int, res *SPMDResult) (map[geom.Box]*amr.Patch, error) {
+	me := ep.Rank()
+	next := map[geom.Box]*amr.Patch{}
+	// Allocate new owned patches.
+	for i, b := range new_.Boxes {
+		if new_.Owners[i] == me {
+			next[b] = amr.NewPatch(b, k.Ghost(), k.NumFields())
+		}
+	}
+	type pending struct {
+		dst    geom.Box
+		region geom.Box
+		from   int
+		tag    string
+	}
+	var recvs []pending
+	for i, nb := range new_.Boxes {
+		no := new_.Owners[i]
+		for j, ob := range old.Boxes {
+			oo := old.Owners[j]
+			region := nb.Intersect(ob)
+			if region.Empty() {
+				continue
+			}
+			if oo == no {
+				if no == me {
+					// Local copy.
+					if err := apply(next[nb], region, extract(patches[ob], region)); err != nil {
+						return nil, err
+					}
+				}
+				continue
+			}
+			tag := fmt.Sprintf("r%d-%d-%d", iter, i, j)
+			switch me {
+			case oo:
+				payload, err := transport.EncodeGob(extract(patches[ob], region))
+				if err != nil {
+					return nil, err
+				}
+				if err := ep.Send(no, tag, payload); err != nil {
+					return nil, err
+				}
+				res.BytesSent += int64(len(payload))
+			case no:
+				recvs = append(recvs, pending{dst: nb, region: region, from: oo, tag: tag})
+			}
+		}
+	}
+	for _, r := range recvs {
+		payload, err := ep.Recv(r.from, r.tag)
+		if err != nil {
+			return nil, err
+		}
+		var data []float64
+		if err := transport.DecodeGob(payload, &data); err != nil {
+			return nil, err
+		}
+		if err := apply(next[r.dst], r.region, data); err != nil {
+			return nil, err
+		}
+	}
+	return next, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

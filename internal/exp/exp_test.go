@@ -1,0 +1,444 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"samrpart/internal/capacity"
+)
+
+// These tests assert the reproduction's shape criteria (EXPERIMENTS.md):
+// who wins, by roughly what factor, and where optima fall — not absolute
+// seconds, which belong to the authors' testbed.
+
+func TestFixedCapacityLoads(t *testing.T) {
+	clus, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := PaperCapacities()
+	if err := FixedCapacityLoads(clus, caps); err != nil {
+		t.Fatal(err)
+	}
+	ms := make([]capacity.Measurement, 4)
+	for k := 0; k < 4; k++ {
+		n := clus.Node(k)
+		ms[k] = capacity.Measurement{
+			CPUAvail:      n.CPUAvail(0),
+			FreeMemoryMB:  n.FreeMemoryMB(0),
+			BandwidthMBps: n.Bandwidth(0),
+		}
+	}
+	got, err := capacity.Relative(ms, capacity.EqualWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range caps {
+		if math.Abs(got[k]-caps[k]) > 0.005 {
+			t.Errorf("C_%d = %.3f, want %.3f", k, got[k], caps[k])
+		}
+	}
+	// Mismatched length rejected.
+	if err := FixedCapacityLoads(clus, []float64{0.5, 0.5}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Unrealizably small capacity rejected.
+	if err := FixedCapacityLoads(clus, []float64{0.01, 0.33, 0.33, 0.33}); err == nil {
+		t.Error("unrealizable capacity accepted")
+	}
+}
+
+func TestFig8to10Shapes(t *testing.T) {
+	r, err := Fig8to10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hetero.Records) != 8 || len(r.Default.Records) != 8 {
+		t.Fatalf("want 8 regrids, got %d/%d", len(r.Hetero.Records), len(r.Default.Records))
+	}
+	for i, rec := range r.Hetero.Records {
+		// (b) Hetero assignments track capacities: work ordered like caps
+		// and each node within 25% of its share.
+		for k := 0; k < 3; k++ {
+			if rec.Work[k] > rec.Work[k+1]*1.05 {
+				t.Errorf("regrid %d: hetero work not capacity-ordered: %v", i+1, rec.Work)
+			}
+		}
+		if imb := rec.MaxImbalance(); imb > 40 {
+			t.Errorf("regrid %d: hetero imbalance %.1f%% above the paper's 40%% bound", i+1, imb)
+		}
+	}
+	for i, rec := range r.Default.Records {
+		// Default assigns near-equal work irrespective of capacity.
+		mean := 0.0
+		for _, w := range rec.Work {
+			mean += w
+		}
+		mean /= 4
+		for k, w := range rec.Work {
+			if math.Abs(w-mean)/mean > 0.25 {
+				t.Errorf("regrid %d: default node %d deviates %.0f%% from equal",
+					i+1, k, math.Abs(w-mean)/mean*100)
+			}
+		}
+		// (c) Default imbalance far above hetero's.
+		if rec.MaxImbalance() < 2*r.Hetero.Records[i].MaxImbalance() {
+			t.Errorf("regrid %d: default imbalance %.1f%% not well above hetero %.1f%%",
+				i+1, rec.MaxImbalance(), r.Hetero.Records[i].MaxImbalance())
+		}
+	}
+	// Render sanity.
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 8", "Figure 9", "Figure 10", "16% 19% 31% 34%"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig11Adapts(t *testing.T) {
+	r, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Trace.Records
+	if len(recs) < 30 {
+		t.Fatalf("want >= 30 regrids, got %d", len(recs))
+	}
+	if r.Trace.Senses != 3 {
+		t.Errorf("senses = %d, want 3 (once before + twice during)", r.Trace.Senses)
+	}
+	// Early: equal capacities -> near-equal assignment.
+	first := recs[0]
+	if math.Abs(first.Work[0]-first.Work[3]) > 0.05*first.Work[3] {
+		t.Errorf("first regrid not equal: %v", first.Work)
+	}
+	// Late: node 0 loaded -> smallest share.
+	last := recs[len(recs)-1]
+	if last.Work[0] >= last.Work[3]*0.8 {
+		t.Errorf("allocation did not adapt to load on node 0: %v", last.Work)
+	}
+	// Capacities changed across the samples.
+	if sameCaps(recs[0].Caps, last.Caps) {
+		t.Error("capacities never changed")
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "capacities") {
+		t.Error("render missing capacity annotations")
+	}
+}
+
+func TestFig7TableIShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig7 sweep in short mode")
+	}
+	r, err := Fig7TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	prevHetero := math.Inf(1)
+	for _, row := range r.Rows {
+		// (a) Hetero wins at every P.
+		if row.HeteroSec >= row.DefaultSec {
+			t.Errorf("P=%d: hetero %.1fs not faster than default %.1fs",
+				row.Nodes, row.HeteroSec, row.DefaultSec)
+		}
+		// Execution time decreases with P (scalability; allow noise-level
+		// wiggle where the load script's heavy tier kicks in at P=16).
+		if row.HeteroSec > prevHetero*1.05 {
+			t.Errorf("P=%d: hetero time %.1fs did not decrease (prev %.1f)",
+				row.Nodes, row.HeteroSec, prevHetero)
+		}
+		prevHetero = row.HeteroSec
+	}
+	// Improvement grows toward ~18% at scale (paper: 7/6/18/18).
+	small := (r.Rows[0].ImprovementPct + r.Rows[1].ImprovementPct) / 2
+	large := (r.Rows[2].ImprovementPct + r.Rows[3].ImprovementPct) / 2
+	if large <= small {
+		t.Errorf("improvement did not grow with P: small %.1f%%, large %.1f%%", small, large)
+	}
+	if large < 12 || large > 30 {
+		t.Errorf("large-P improvement %.1f%% outside the paper's neighbourhood (~18%%)", large)
+	}
+	if small < 2 || small > 15 {
+		t.Errorf("small-P improvement %.1f%% outside the paper's neighbourhood (~7%%)", small)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table I") {
+		t.Error("render missing Table I")
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table II sweep in short mode")
+	}
+	r, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// (d) Dynamic sensing beats sense-once substantially at every P.
+		gain := (row.StaticSec - row.DynamicSec) / row.StaticSec * 100
+		if gain < 10 {
+			t.Errorf("P=%d: dynamic gain %.1f%% too small (paper: 35-48%%)", row.Nodes, gain)
+		}
+	}
+	// Both policies scale down with P.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].DynamicSec >= r.Rows[i-1].DynamicSec {
+			t.Errorf("dynamic time not decreasing at P=%d", r.Rows[i].Nodes)
+		}
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table II") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table III sweep in short mode")
+	}
+	r, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// (e) The optimum is at an intermediate frequency (paper: 20), i.e.
+	// neither the most frequent nor the rarest sensing wins.
+	best := r.Best()
+	if best == 10 || best == 40 {
+		t.Errorf("optimum at extreme frequency %d; want intermediate (paper: 20)", best)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table III", "Figure 12", "Figure 15"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations in short mode")
+	}
+	split, err := AblationSplitting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splitting matters: the no-splitting greedy baseline must be worst.
+	greedy := split.Rows[len(split.Rows)-1]
+	for _, row := range split.Rows[:len(split.Rows)-1] {
+		if row.ExecSec >= greedy.ExecSec {
+			t.Errorf("splitting variant %q not better than no-splitting", row.Variant)
+		}
+	}
+	gran, err := AblationGranularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finer granularity gives lower imbalance.
+	if gran.Rows[0].MeanImb > gran.Rows[len(gran.Rows)-1].MeanImb {
+		t.Error("imbalance should grow with coarser granularity")
+	}
+	weights, err := AblationWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := weights.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "equal") {
+		t.Error("weights render missing variants")
+	}
+	sfcAbl, err := AblationSFC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sfcAbl.Rows) != 2 {
+		t.Error("SFC ablation incomplete")
+	}
+}
+
+func TestHeterogeneitySweepShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heterogeneity sweep in short mode")
+	}
+	r, err := HeterogeneitySweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows: %d", len(r.Rows))
+	}
+	// Homogeneous cluster: both partitioners within noise of each other.
+	if imp := r.Rows[0].ImprovementPct; imp > 5 || imp < -5 {
+		t.Errorf("homogeneous improvement %.1f%% should be ~0", imp)
+	}
+	// The paper's expectation: improvement grows with heterogeneity.
+	for i := 2; i < len(r.Rows); i++ {
+		if r.Rows[i].ImprovementPct <= r.Rows[0].ImprovementPct {
+			t.Errorf("improvement at load %.1f (%.1f%%) not above homogeneous (%.1f%%)",
+				r.Rows[i].LoadTarget, r.Rows[i].ImprovementPct, r.Rows[0].ImprovementPct)
+		}
+	}
+	if last := r.Rows[len(r.Rows)-1].ImprovementPct; last < 15 {
+		t.Errorf("improvement at 80%% load = %.1f%%, expected substantial", last)
+	}
+}
+
+func TestMixedHardwareShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed-hardware run in short mode")
+	}
+	r, err := MixedHardware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Architectural skew alone must give the system-sensitive scheme a
+	// clear win, with fast nodes holding larger capacities.
+	if r.ImprovementPct < 5 {
+		t.Errorf("improvement %.1f%% too small for a 2x speed skew", r.ImprovementPct)
+	}
+	if r.Caps[0] <= r.Caps[7] {
+		t.Errorf("fast node capacity %.3f not above slow node %.3f", r.Caps[0], r.Caps[7])
+	}
+}
+
+func TestScalabilityShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in short mode")
+	}
+	r, err := Scalability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 || r.Rows[0].Nodes != 1 {
+		t.Fatalf("rows: %+v", r.Rows)
+	}
+	// Speedup is monotone up to 16 and efficiency decays.
+	for i := 1; i < 5; i++ {
+		if r.Rows[i].Speedup <= r.Rows[i-1].Speedup*0.95 {
+			t.Errorf("speedup not growing at P=%d: %.2f after %.2f",
+				r.Rows[i].Nodes, r.Rows[i].Speedup, r.Rows[i-1].Speedup)
+		}
+	}
+	if r.Rows[1].Efficiency < 0.7 {
+		t.Errorf("2-node efficiency %.2f too low", r.Rows[1].Efficiency)
+	}
+	if r.Rows[5].Efficiency > r.Rows[1].Efficiency {
+		t.Error("efficiency should decay with P")
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Speedup") {
+		t.Error("render missing speedup column")
+	}
+}
+
+func TestAblationLocalityShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("locality ablation in short mode")
+	}
+	r, err := AblationLocality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationRow{}
+	for _, row := range r.Rows {
+		byName[row.Variant] = row
+	}
+	hetero := byName["ACEHeterogeneous"]
+	sfcH := byName["SFCHetero"]
+	comp := byName["ACEComposite"]
+	// The SFC-ordered capacity-aware scheme keeps hetero's balance...
+	if sfcH.MeanImb > hetero.MeanImb+5 {
+		t.Errorf("SFCHetero imbalance %.1f%% much worse than hetero %.1f%%",
+			sfcH.MeanImb, hetero.MeanImb)
+	}
+	// ...while moving less data between repartitions.
+	if sfcH.MovedMB >= hetero.MovedMB {
+		t.Errorf("SFCHetero moved %.0f MB, not less than hetero's %.0f MB",
+			sfcH.MovedMB, hetero.MovedMB)
+	}
+	// The capacity-oblivious composite has much worse balance than either.
+	if comp.MeanImb < 2*sfcH.MeanImb {
+		t.Errorf("composite imbalance %.1f%% suspiciously low", comp.MeanImb)
+	}
+}
+
+func TestAblationMemoryWeightsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory-weights ablation in short mode")
+	}
+	r, err := AblationMemoryWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, row := range r.Rows {
+		byName[row.Variant] = row.ExecSec
+	}
+	cb := byName["compute-biased (.6,.2,.2)"]
+	mb := byName["memory-biased (.2,.6,.2)"]
+	eq := byName["equal (1/3,1/3,1/3)"]
+	// §8: on a memory-intensive workload, raising w_m pays. The ordering
+	// must be memory-biased < equal < compute-biased.
+	if !(mb < eq && eq < cb) {
+		t.Errorf("weights ordering wrong: mem %.1f, equal %.1f, cpu %.1f", mb, eq, cb)
+	}
+	if (cb-mb)/cb < 0.15 {
+		t.Errorf("memory-aware gain only %.1f%%", (cb-mb)/cb*100)
+	}
+}
+
+func TestAblationForecasterPrefersCurrentState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forecaster ablation in short mode")
+	}
+	r, err := AblationForecaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, row := range r.Rows {
+		byName[row.Variant] = row.ExecSec
+	}
+	// Under abrupt load switches, current-state (last) must beat the
+	// heavy smoothers, and the adaptive ensemble should stay close to the
+	// best member.
+	if byName["last"] >= byName["mean"] {
+		t.Errorf("last (%.1f) not better than mean (%.1f)", byName["last"], byName["mean"])
+	}
+	if byName["adaptive"] > byName["last"]*1.1 {
+		t.Errorf("adaptive (%.1f) far from best member (%.1f)", byName["adaptive"], byName["last"])
+	}
+}

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"io"
+
+	"samrpart/internal/cluster"
+	"samrpart/internal/partition"
+	"samrpart/internal/trace"
+)
+
+// Table2Row is one cluster size of the dynamic-vs-static sensing
+// comparison.
+type Table2Row struct {
+	Nodes      int
+	DynamicSec float64
+	StaticSec  float64
+	// Paper values for reference.
+	PaperDynamicSec, PaperStaticSec float64
+}
+
+// Table2Result reproduces Table II: execution time with dynamic sensing
+// (every 40 iterations) against sensing only once before the start, while
+// background load ramps up during the run.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+var paperTable2 = map[int][2]float64{
+	2: {423.7, 805.5},
+	4: {292.0, 450.0},
+	6: {272.0, 442.0},
+	8: {225.0, 430.0},
+}
+
+// Table2Iterations is the run length; the ramps reach their plateaus in the
+// first half of the run.
+const Table2Iterations = 200
+
+// table2Loads ramps heavy load onto half the nodes shortly after the
+// static configuration has taken its only measurement, so a sense-once run
+// keeps distributing as if the cluster were idle.
+func table2Loads(c *cluster.Cluster) {
+	for k := 0; k < c.NumNodes(); k += 2 {
+		start := 5 + 10*float64(k/2)
+		c.Node(k).AddLoad(cluster.Ramp{
+			Start:       start,
+			Rate:        0.025,
+			Target:      0.8,
+			MemTargetMB: 170,
+		})
+	}
+}
+
+// Table2 runs P in {2, 4, 6, 8} with both sensing policies.
+func Table2() (*Table2Result, error) {
+	res := &Table2Result{}
+	for _, nodes := range []int{2, 4, 6, 8} {
+		dyn, err := run(runConfig{
+			name:        "dynamic",
+			nodes:       nodes,
+			loads:       table2Loads,
+			partitioner: partition.NewHetero(),
+			iterations:  Table2Iterations,
+			regridEvery: 5,
+			senseEvery:  40,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st, err := run(runConfig{
+			name:        "static",
+			nodes:       nodes,
+			loads:       table2Loads,
+			partitioner: partition.NewHetero(),
+			iterations:  Table2Iterations,
+			regridEvery: 5,
+			senseEvery:  0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		paper := paperTable2[nodes]
+		res.Rows = append(res.Rows, Table2Row{
+			Nodes:           nodes,
+			DynamicSec:      dyn.ExecTime,
+			StaticSec:       st.ExecTime,
+			PaperDynamicSec: paper[0],
+			PaperStaticSec:  paper[1],
+		})
+	}
+	return res, nil
+}
+
+// Render writes the comparison table.
+func (r *Table2Result) Render(w io.Writer) error {
+	tab := trace.NewTable(
+		"Table II: execution time, dynamic sensing vs sensing once (s)",
+		"Processors", "Dynamic (measured)", "Once (measured)",
+		"Dynamic (paper)", "Once (paper)")
+	for _, row := range r.Rows {
+		tab.AddF(row.Nodes, row.DynamicSec, row.StaticSec,
+			row.PaperDynamicSec, row.PaperStaticSec)
+	}
+	return tab.Render(w)
+}

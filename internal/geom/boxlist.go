@@ -1,0 +1,128 @@
+package geom
+
+import (
+	"sort"
+)
+
+// BoxList is an ordered collection of boxes, the unit of currency between the
+// regridder (which produces the bounding-box list for each hierarchy level)
+// and the partitioners (which assign boxes to processors).
+type BoxList []Box
+
+// TotalCells returns the summed cell count of the list.
+func (l BoxList) TotalCells() int64 {
+	var n int64
+	for _, b := range l {
+		n += b.Cells()
+	}
+	return n
+}
+
+// Clone returns a copy of the list that shares no storage with l.
+func (l BoxList) Clone() BoxList {
+	out := make(BoxList, len(l))
+	copy(out, l)
+	return out
+}
+
+// Filter returns the boxes for which keep returns true.
+func (l BoxList) Filter(keep func(Box) bool) BoxList {
+	var out BoxList
+	for _, b := range l {
+		if keep(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// SortByCells orders the list by ascending cell count, breaking ties by
+// level then lexicographic lower bound so the order is deterministic. The
+// ACEHeterogeneous partitioner sorts boxes this way so the smallest box goes
+// to the smallest-capacity processor.
+func (l BoxList) SortByCells() {
+	sort.SliceStable(l, func(i, j int) bool {
+		ci, cj := l[i].Cells(), l[j].Cells()
+		if ci != cj {
+			return ci < cj
+		}
+		if l[i].Level != l[j].Level {
+			return l[i].Level < l[j].Level
+		}
+		return l[i].Lo.Less(l[j].Lo)
+	})
+}
+
+// SortBy orders the list by an arbitrary key, breaking ties
+// deterministically by level then lower bound.
+func (l BoxList) SortBy(key func(Box) int64) {
+	sort.SliceStable(l, func(i, j int) bool {
+		ki, kj := key(l[i]), key(l[j])
+		if ki != kj {
+			return ki < kj
+		}
+		if l[i].Level != l[j].Level {
+			return l[i].Level < l[j].Level
+		}
+		return l[i].Lo.Less(l[j].Lo)
+	})
+}
+
+// Intersecting returns the sublist of boxes intersecting the probe box at
+// the same level.
+func (l BoxList) Intersecting(probe Box) BoxList {
+	var out BoxList
+	for _, b := range l {
+		if b.Level == probe.Level && b.Intersects(probe) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// CoverageOf returns the number of cells of probe covered by boxes of the
+// list at the same level. Boxes in the list are assumed disjoint.
+func (l BoxList) CoverageOf(probe Box) int64 {
+	var n int64
+	for _, b := range l {
+		if b.Level == probe.Level {
+			n += b.Intersect(probe).Cells()
+		}
+	}
+	return n
+}
+
+// Disjoint reports whether no two boxes of the list overlap. Levels are
+// respected: boxes on different levels never conflict.
+func (l BoxList) Disjoint() bool {
+	for i := range l {
+		for j := i + 1; j < len(l); j++ {
+			if l[i].Level == l[j].Level && l[i].Intersects(l[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BoundingBox returns the smallest box covering every box in the list; it
+// returns ErrEmptyBox if the list has no non-empty box.
+func (l BoxList) BoundingBox() (Box, error) {
+	var acc Box
+	found := false
+	for _, b := range l {
+		if b.Empty() {
+			continue
+		}
+		if !found {
+			acc = b
+			found = true
+			continue
+		}
+		acc = acc.BoundingUnion(b)
+	}
+	if !found {
+		return Box{}, ErrEmptyBox
+	}
+	return acc, nil
+}

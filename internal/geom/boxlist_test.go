@@ -1,0 +1,115 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBoxListTotals(t *testing.T) {
+	l := BoxList{Box2(0, 0, 3, 3), Box2(10, 0, 13, 3).WithLevel(1)}
+	if l.TotalCells() != 32 {
+		t.Errorf("TotalCells = %d, want 32", l.TotalCells())
+	}
+	if BoxList(nil).TotalCells() != 0 {
+		t.Error("empty list should total 0")
+	}
+}
+
+func TestBoxListSortByCells(t *testing.T) {
+	l := BoxList{
+		Box2(0, 0, 9, 9),   // 100
+		Box2(0, 0, 1, 1),   // 4
+		Box2(0, 0, 4, 4),   // 25
+		Box2(20, 0, 21, 1), // 4, later origin
+	}
+	l.SortByCells()
+	want := []int64{4, 4, 25, 100}
+	for i, b := range l {
+		if b.Cells() != want[i] {
+			t.Fatalf("pos %d cells = %d, want %d", i, b.Cells(), want[i])
+		}
+	}
+	// Deterministic tie-break: (0,0) before (20,0).
+	if l[0].Lo != Pt2(0, 0) {
+		t.Error("tie-break by lower bound violated")
+	}
+}
+
+func TestBoxListSortByStable(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var l BoxList
+	for i := 0; i < 50; i++ {
+		l = append(l, genBox(r))
+	}
+	a := l.Clone()
+	b := l.Clone()
+	a.SortByCells()
+	b.SortByCells()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("SortByCells not deterministic")
+		}
+	}
+}
+
+func TestBoxListCloneIndependent(t *testing.T) {
+	l := BoxList{Box2(0, 0, 1, 1)}
+	c := l.Clone()
+	c[0] = Box2(5, 5, 6, 6)
+	if !l[0].Equal(Box2(0, 0, 1, 1)) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestBoxListDisjoint(t *testing.T) {
+	ok := BoxList{Box2(0, 0, 3, 3), Box2(4, 0, 7, 3)}
+	if !ok.Disjoint() {
+		t.Error("adjacent boxes reported overlapping")
+	}
+	bad := BoxList{Box2(0, 0, 3, 3), Box2(3, 3, 7, 7)}
+	if bad.Disjoint() {
+		t.Error("overlapping boxes reported disjoint")
+	}
+	levels := BoxList{Box2(0, 0, 3, 3), Box2(0, 0, 3, 3).WithLevel(1)}
+	if !levels.Disjoint() {
+		t.Error("same region on different levels should not conflict")
+	}
+}
+
+func TestBoxListIntersectingAndCoverage(t *testing.T) {
+	l := BoxList{
+		Box2(0, 0, 3, 3),
+		Box2(4, 0, 7, 3),
+		Box2(0, 0, 3, 3).WithLevel(1),
+	}
+	probe := Box2(2, 0, 5, 3)
+	hits := l.Intersecting(probe)
+	if len(hits) != 2 {
+		t.Fatalf("Intersecting returned %d boxes, want 2", len(hits))
+	}
+	if cov := l.CoverageOf(probe); cov != 16 {
+		t.Errorf("CoverageOf = %d, want 16", cov)
+	}
+}
+
+func TestBoxListBoundingBox(t *testing.T) {
+	l := BoxList{Box2(0, 0, 3, 3), Box2(10, 10, 12, 12)}
+	bb, err := l.BoundingBox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bb.Equal(Box2(0, 0, 12, 12)) {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+	if _, err := BoxList(nil).BoundingBox(); err != ErrEmptyBox {
+		t.Errorf("empty BoundingBox err = %v, want ErrEmptyBox", err)
+	}
+}
+
+func TestBoxListFilter(t *testing.T) {
+	l := BoxList{Box2(0, 0, 0, 0), Box2(0, 0, 9, 9)}
+	big := l.Filter(func(b Box) bool { return b.Cells() > 10 })
+	if len(big) != 1 || big[0].Cells() != 100 {
+		t.Errorf("Filter = %v", big)
+	}
+}

@@ -1,0 +1,114 @@
+package hdda
+
+import (
+	"samrpart/internal/geom"
+)
+
+// patch is one stored component-grid entry. Several distinct boxes can share
+// a hierarchical key (their centroids coarsen to the same base cell), so the
+// directory stores a small list per key and Array disambiguates by box.
+type patch[V any] struct {
+	box geom.Box
+	val V
+}
+
+// Array is the Hierarchical Distributed Dynamic Array: a dynamic associative
+// array over component-grid boxes whose storage layout follows the
+// hierarchical SFC index space. It provides the array semantics GrACE layers
+// application objects (grids, meshes) on top of.
+type Array[V any] struct {
+	space *IndexSpace
+	dir   *Directory[[]patch[V]]
+	count int
+}
+
+// NewArray creates an empty HDDA over the given index space.
+func NewArray[V any](space *IndexSpace) *Array[V] {
+	return &Array[V]{space: space, dir: NewDirectory[[]patch[V]]()}
+}
+
+// Space returns the array's hierarchical index space.
+func (a *Array[V]) Space() *IndexSpace { return a.space }
+
+// Len returns the number of stored patches.
+func (a *Array[V]) Len() int { return a.count }
+
+// Put stores v under box b, replacing an existing entry for the same box.
+func (a *Array[V]) Put(b geom.Box, v V) {
+	key := a.space.KeyFor(b).Packed()
+	list, _ := a.dir.Get(key)
+	for i := range list {
+		if list[i].box.Equal(b) {
+			list[i].val = v
+			a.dir.Put(key, list)
+			return
+		}
+	}
+	a.dir.Put(key, append(list, patch[V]{box: b, val: v}))
+	a.count++
+}
+
+// Get returns the value stored for box b.
+func (a *Array[V]) Get(b geom.Box) (V, bool) {
+	key := a.space.KeyFor(b).Packed()
+	list, ok := a.dir.Get(key)
+	if ok {
+		for _, p := range list {
+			if p.box.Equal(b) {
+				return p.val, true
+			}
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Delete removes the entry for box b; ErrNotFound if absent.
+func (a *Array[V]) Delete(b geom.Box) error {
+	key := a.space.KeyFor(b).Packed()
+	list, ok := a.dir.Get(key)
+	if !ok {
+		return ErrNotFound
+	}
+	for i := range list {
+		if list[i].box.Equal(b) {
+			list = append(list[:i], list[i+1:]...)
+			a.count--
+			if len(list) == 0 {
+				return a.dir.Delete(key)
+			}
+			a.dir.Put(key, list)
+			return nil
+		}
+	}
+	return ErrNotFound
+}
+
+// Range calls fn for every (box, value) pair until fn returns false.
+func (a *Array[V]) Range(fn func(b geom.Box, v V) bool) {
+	a.dir.Range(func(_ uint64, list []patch[V]) bool {
+		for _, p := range list {
+			if !fn(p.box, p.val) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Boxes returns all stored boxes in hierarchical index order.
+func (a *Array[V]) Boxes() geom.BoxList {
+	out := make(geom.BoxList, 0, a.count)
+	a.Range(func(b geom.Box, _ V) bool {
+		out = append(out, b)
+		return true
+	})
+	a.space.Sort(out)
+	return out
+}
+
+// LevelBoxes returns the stored boxes of one level in index order.
+func (a *Array[V]) LevelBoxes(level int) geom.BoxList {
+	out := a.Boxes().Filter(func(b geom.Box) bool { return b.Level == level })
+	return out
+}

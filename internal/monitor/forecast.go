@@ -1,0 +1,224 @@
+// Package monitor is the repo's stand-in for the Network Weather Service
+// (NWS): it periodically probes per-node resource sensors (CPU availability,
+// free memory, link bandwidth), runs a family of time-series forecasters
+// over the samples, and reports forecast resource measurements to the
+// capacity calculator. Like NWS, the adaptive forecaster tracks each
+// method's prediction error and answers with the historically best one.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one timestamped sensor reading.
+type Sample struct {
+	Time  float64
+	Value float64
+}
+
+// Forecaster predicts the next value of a resource time series.
+type Forecaster interface {
+	// Name identifies the method.
+	Name() string
+	// Update feeds one new sample.
+	Update(s Sample)
+	// Forecast predicts the next value. Before any update it returns 0.
+	Forecast() float64
+}
+
+// NewForecaster returns a forecaster by name: "last", "mean", "median",
+// "ewma" or "adaptive".
+func NewForecaster(name string) (Forecaster, error) {
+	switch name {
+	case "last":
+		return &LastValue{}, nil
+	case "mean":
+		return &RunningMean{}, nil
+	case "median":
+		return NewSlidingMedian(10), nil
+	case "ewma":
+		return NewEWMA(0.4), nil
+	case "adaptive":
+		return NewAdaptive(), nil
+	default:
+		return nil, fmt.Errorf("monitor: unknown forecaster %q", name)
+	}
+}
+
+// LastValue predicts the most recent observation.
+type LastValue struct {
+	last float64
+	seen bool
+}
+
+// Name implements Forecaster.
+func (f *LastValue) Name() string { return "last" }
+
+// Update implements Forecaster.
+func (f *LastValue) Update(s Sample) { f.last, f.seen = s.Value, true }
+
+// Forecast implements Forecaster.
+func (f *LastValue) Forecast() float64 { return f.last }
+
+// RunningMean predicts the mean of all observations.
+type RunningMean struct {
+	sum float64
+	n   int
+}
+
+// Name implements Forecaster.
+func (f *RunningMean) Name() string { return "mean" }
+
+// Update implements Forecaster.
+func (f *RunningMean) Update(s Sample) { f.sum += s.Value; f.n++ }
+
+// Forecast implements Forecaster.
+func (f *RunningMean) Forecast() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return f.sum / float64(f.n)
+}
+
+// SlidingMedian predicts the median of the last Window observations, robust
+// to measurement spikes.
+type SlidingMedian struct {
+	window int
+	buf    []float64
+}
+
+// NewSlidingMedian returns a median forecaster over the given window.
+func NewSlidingMedian(window int) *SlidingMedian {
+	if window < 1 {
+		window = 1
+	}
+	return &SlidingMedian{window: window}
+}
+
+// Name implements Forecaster.
+func (f *SlidingMedian) Name() string { return "median" }
+
+// Update implements Forecaster.
+func (f *SlidingMedian) Update(s Sample) {
+	f.buf = append(f.buf, s.Value)
+	if len(f.buf) > f.window {
+		f.buf = f.buf[1:]
+	}
+}
+
+// Forecast implements Forecaster.
+func (f *SlidingMedian) Forecast() float64 {
+	if len(f.buf) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(f.buf))
+	copy(tmp, f.buf)
+	sort.Float64s(tmp)
+	mid := len(tmp) / 2
+	if len(tmp)%2 == 1 {
+		return tmp[mid]
+	}
+	return (tmp[mid-1] + tmp[mid]) / 2
+}
+
+// EWMA predicts an exponentially weighted moving average with smoothing
+// factor alpha (higher alpha = more reactive).
+type EWMA struct {
+	alpha float64
+	value float64
+	seen  bool
+}
+
+// NewEWMA returns an EWMA forecaster; alpha is clamped to (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Name implements Forecaster.
+func (f *EWMA) Name() string { return "ewma" }
+
+// Update implements Forecaster.
+func (f *EWMA) Update(s Sample) {
+	if !f.seen {
+		f.value, f.seen = s.Value, true
+		return
+	}
+	f.value += f.alpha * (s.Value - f.value)
+}
+
+// Forecast implements Forecaster.
+func (f *EWMA) Forecast() float64 { return f.value }
+
+// Adaptive is the NWS-style ensemble: it runs several forecasters in
+// parallel, tracks each one's mean absolute prediction error against
+// incoming samples, and forecasts with the member whose error is currently
+// lowest.
+type Adaptive struct {
+	members []Forecaster
+	absErr  []float64
+	n       int
+}
+
+// NewAdaptive returns an adaptive ensemble over last-value, running-mean,
+// sliding-median and EWMA members.
+func NewAdaptive() *Adaptive {
+	return &Adaptive{
+		members: []Forecaster{
+			&LastValue{},
+			&RunningMean{},
+			NewSlidingMedian(10),
+			NewEWMA(0.4),
+		},
+		absErr: make([]float64, 4),
+	}
+}
+
+// Name implements Forecaster.
+func (f *Adaptive) Name() string { return "adaptive" }
+
+// Update implements Forecaster.
+func (f *Adaptive) Update(s Sample) {
+	// Score each member's standing forecast against the new truth first.
+	if f.n > 0 {
+		for i, m := range f.members {
+			f.absErr[i] += math.Abs(m.Forecast() - s.Value)
+		}
+	}
+	for _, m := range f.members {
+		m.Update(s)
+	}
+	f.n++
+}
+
+// Forecast implements Forecaster.
+func (f *Adaptive) Forecast() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	best := 0
+	for i := 1; i < len(f.members); i++ {
+		if f.absErr[i] < f.absErr[best] {
+			best = i
+		}
+	}
+	return f.members[best].Forecast()
+}
+
+// Best returns the name of the currently selected member (for diagnostics).
+func (f *Adaptive) Best() string {
+	best := 0
+	for i := 1; i < len(f.members); i++ {
+		if f.absErr[i] < f.absErr[best] {
+			best = i
+		}
+	}
+	return f.members[best].Name()
+}

@@ -1,0 +1,148 @@
+package monitor
+
+import (
+	"math"
+	"sync"
+
+	"samrpart/internal/capacity"
+)
+
+// SampleStats summarizes one resource's recorded history.
+type SampleStats struct {
+	Count          int
+	Mean, Min, Max float64
+	// StdDev is the population standard deviation.
+	StdDev float64
+}
+
+// ring is a fixed-capacity sample buffer.
+type ring struct {
+	buf  []Sample
+	next int
+	full bool
+}
+
+func newRing(capacity int) *ring { return &ring{buf: make([]Sample, capacity)} }
+
+func (r *ring) add(s Sample) {
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// samples returns the stored samples oldest-first.
+func (r *ring) samples() []Sample {
+	if !r.full {
+		out := make([]Sample, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Sample, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+func (r *ring) stats() SampleStats {
+	ss := r.samples()
+	st := SampleStats{Count: len(ss), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(ss) == 0 {
+		return SampleStats{}
+	}
+	sum := 0.0
+	for _, s := range ss {
+		sum += s.Value
+		if s.Value < st.Min {
+			st.Min = s.Value
+		}
+		if s.Value > st.Max {
+			st.Max = s.Value
+		}
+	}
+	st.Mean = sum / float64(len(ss))
+	var varSum float64
+	for _, s := range ss {
+		d := s.Value - st.Mean
+		varSum += d * d
+	}
+	st.StdDev = math.Sqrt(varSum / float64(len(ss)))
+	return st
+}
+
+// History records the measurement time series of every node and resource,
+// the log NWS keeps for its forecasters and operators. Attach it to a
+// Monitor with Monitor.AttachHistory; it is safe for concurrent use.
+type History struct {
+	mu    sync.Mutex
+	cpu   []*ring
+	mem   []*ring
+	bw    []*ring
+	depth int
+}
+
+// NewHistory creates a history for n nodes keeping `depth` samples per
+// resource (older samples roll off).
+func NewHistory(n, depth int) *History {
+	if depth < 1 {
+		depth = 1
+	}
+	h := &History{depth: depth}
+	for i := 0; i < n; i++ {
+		h.cpu = append(h.cpu, newRing(depth))
+		h.mem = append(h.mem, newRing(depth))
+		h.bw = append(h.bw, newRing(depth))
+	}
+	return h
+}
+
+// Record appends one sweep of measurements at the given time.
+func (h *History) Record(now float64, ms []capacity.Measurement) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for k, m := range ms {
+		if k >= len(h.cpu) {
+			break
+		}
+		h.cpu[k].add(Sample{Time: now, Value: m.CPUAvail})
+		h.mem[k].add(Sample{Time: now, Value: m.FreeMemoryMB})
+		h.bw[k].add(Sample{Time: now, Value: m.BandwidthMBps})
+	}
+}
+
+// CPUStats returns the CPU-availability statistics for node k.
+func (h *History) CPUStats(k int) SampleStats { return h.statsOf(h.cpu, k) }
+
+// MemStats returns the free-memory statistics for node k.
+func (h *History) MemStats(k int) SampleStats { return h.statsOf(h.mem, k) }
+
+// BWStats returns the bandwidth statistics for node k.
+func (h *History) BWStats(k int) SampleStats { return h.statsOf(h.bw, k) }
+
+// CPUSeries returns node k's recorded CPU samples, oldest first.
+func (h *History) CPUSeries(k int) []Sample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if k < 0 || k >= len(h.cpu) {
+		return nil
+	}
+	return h.cpu[k].samples()
+}
+
+func (h *History) statsOf(rs []*ring, k int) SampleStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if k < 0 || k >= len(rs) {
+		return SampleStats{}
+	}
+	return rs[k].stats()
+}
+
+// AttachHistory makes the monitor record every future Sense sweep into hist.
+func (m *Monitor) AttachHistory(hist *History) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.history = hist
+}

@@ -1,0 +1,107 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"samrpart/internal/capacity"
+	"samrpart/internal/cluster"
+)
+
+func TestRingRollsOver(t *testing.T) {
+	r := newRing(3)
+	for i := 0; i < 5; i++ {
+		r.add(Sample{Time: float64(i), Value: float64(i)})
+	}
+	ss := r.samples()
+	if len(ss) != 3 {
+		t.Fatalf("kept %d samples", len(ss))
+	}
+	// Oldest-first: 2, 3, 4.
+	for i, want := range []float64{2, 3, 4} {
+		if ss[i].Value != want {
+			t.Errorf("sample %d = %g, want %g", i, ss[i].Value, want)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := newRing(5)
+	r.add(Sample{Value: 7})
+	ss := r.samples()
+	if len(ss) != 1 || ss[0].Value != 7 {
+		t.Errorf("samples = %v", ss)
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	r := newRing(8)
+	for _, v := range []float64{1, 2, 3, 4} {
+		r.add(Sample{Value: v})
+	}
+	st := r.stats()
+	if st.Count != 4 || st.Mean != 2.5 || st.Min != 1 || st.Max != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if math.Abs(st.StdDev-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("stddev = %g", st.StdDev)
+	}
+	if (&ring{buf: make([]Sample, 2)}).stats().Count != 0 {
+		t.Error("empty ring stats should be zero")
+	}
+}
+
+func TestHistoryRecordsSweeps(t *testing.T) {
+	h := NewHistory(2, 10)
+	h.Record(0, []capacity.Measurement{
+		{CPUAvail: 1.0, FreeMemoryMB: 256, BandwidthMBps: 12.5},
+		{CPUAvail: 0.5, FreeMemoryMB: 128, BandwidthMBps: 12.5},
+	})
+	h.Record(1, []capacity.Measurement{
+		{CPUAvail: 0.8, FreeMemoryMB: 200, BandwidthMBps: 12.5},
+		{CPUAvail: 0.4, FreeMemoryMB: 100, BandwidthMBps: 12.5},
+	})
+	cpu0 := h.CPUStats(0)
+	if cpu0.Count != 2 || math.Abs(cpu0.Mean-0.9) > 1e-12 {
+		t.Errorf("cpu0 = %+v", cpu0)
+	}
+	mem1 := h.MemStats(1)
+	if mem1.Min != 100 || mem1.Max != 128 {
+		t.Errorf("mem1 = %+v", mem1)
+	}
+	if h.BWStats(0).Mean != 12.5 {
+		t.Error("bw stats wrong")
+	}
+	series := h.CPUSeries(1)
+	if len(series) != 2 || series[0].Value != 0.5 || series[1].Value != 0.4 {
+		t.Errorf("series = %v", series)
+	}
+	// Out-of-range queries are safe.
+	if h.CPUStats(9).Count != 0 || h.CPUSeries(-1) != nil {
+		t.Error("out-of-range not safe")
+	}
+}
+
+func TestMonitorAttachHistory(t *testing.T) {
+	c := newTestCluster(t)
+	c.Node(0).AddLoad(cluster.Ramp{Start: 0, Rate: 0.1, Target: 0.6})
+	m := New(ClusterProber{C: c}, func() Forecaster { return &LastValue{} })
+	hist := NewHistory(4, 16)
+	m.AttachHistory(hist)
+	for i := 0; i < 5; i++ {
+		m.Sense(c.Now())
+		c.Advance(1)
+	}
+	st := hist.CPUStats(0)
+	if st.Count != 5 {
+		t.Fatalf("recorded %d sweeps", st.Count)
+	}
+	// The ramp shows up in the history: max (t=0, avail 1.0) above min.
+	if !(st.Max > st.Min) || st.Max != 1.0 {
+		t.Errorf("ramp not visible: %+v", st)
+	}
+	// Unloaded node is flat.
+	if flat := hist.CPUStats(2); flat.StdDev != 0 {
+		t.Errorf("flat node stddev = %g", flat.StdDev)
+	}
+}

@@ -1,0 +1,144 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"samrpart/internal/capacity"
+	"samrpart/internal/cluster"
+)
+
+// Prober supplies ground-truth resource measurements for each node; the
+// virtual cluster implements it via ClusterProber, and cmd/nwsmon wraps a
+// TCP client around a remote Monitor.
+type Prober interface {
+	// NumNodes returns the cluster size.
+	NumNodes() int
+	// Probe returns the instantaneous resource state of node k.
+	Probe(k int) capacity.Measurement
+}
+
+// ClusterProber adapts the virtual cluster to the Prober interface. The
+// CPU measurement is the availability fraction scaled by the node's
+// benchmark speed relative to the fastest machine in the cluster — the
+// paper's ref [6] model, where offline benchmarks supply relative speeds
+// and the monitor supplies utilization. On homogeneous hardware the scale
+// factor is 1 and the measurement reduces to plain availability.
+type ClusterProber struct {
+	C *cluster.Cluster
+}
+
+// NumNodes implements Prober.
+func (p ClusterProber) NumNodes() int { return p.C.NumNodes() }
+
+// maxSpeed returns the fastest nominal node speed in the cluster.
+func (p ClusterProber) maxSpeed() float64 {
+	max := 0.0
+	for k := 0; k < p.C.NumNodes(); k++ {
+		if s := p.C.Node(k).Spec.SpeedMFlops; s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Probe implements Prober.
+func (p ClusterProber) Probe(k int) capacity.Measurement {
+	n := p.C.Node(k)
+	t := p.C.Now()
+	speedScale := 1.0
+	if max := p.maxSpeed(); max > 0 {
+		speedScale = n.Spec.SpeedMFlops / max
+	}
+	return capacity.Measurement{
+		CPUAvail:      n.CPUAvail(t) * speedScale,
+		FreeMemoryMB:  n.FreeMemoryMB(t),
+		BandwidthMBps: n.Bandwidth(t),
+	}
+}
+
+// nodeSeries holds the three per-resource forecasters of one node.
+type nodeSeries struct {
+	cpu, mem, bw Forecaster
+}
+
+// Monitor is the resource monitoring service: on every Sense it probes each
+// node, feeds the per-resource forecasters, and returns forecast
+// measurements. Safe for concurrent use.
+type Monitor struct {
+	mu      sync.Mutex
+	prober  Prober
+	nodes   []nodeSeries
+	senses  int
+	last    []capacity.Measurement
+	history *History
+}
+
+// New builds a monitor over the prober, with one forecaster of the given
+// constructor per node per resource.
+func New(prober Prober, mkForecaster func() Forecaster) *Monitor {
+	n := prober.NumNodes()
+	m := &Monitor{prober: prober, nodes: make([]nodeSeries, n)}
+	for k := range m.nodes {
+		m.nodes[k] = nodeSeries{cpu: mkForecaster(), mem: mkForecaster(), bw: mkForecaster()}
+	}
+	return m
+}
+
+// NewAdaptiveMonitor builds a monitor with NWS-style adaptive forecasters.
+func NewAdaptiveMonitor(prober Prober) *Monitor {
+	return New(prober, func() Forecaster { return NewAdaptive() })
+}
+
+// Sense probes every node at virtual time now, updates the forecasters and
+// returns the forecast measurements. The caller is responsible for charging
+// the probe cost to its clock (cluster.SenseTime).
+func (m *Monitor) Sense(now float64) []capacity.Measurement {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]capacity.Measurement, len(m.nodes))
+	for k := range m.nodes {
+		truth := m.prober.Probe(k)
+		m.nodes[k].cpu.Update(Sample{Time: now, Value: truth.CPUAvail})
+		m.nodes[k].mem.Update(Sample{Time: now, Value: truth.FreeMemoryMB})
+		m.nodes[k].bw.Update(Sample{Time: now, Value: truth.BandwidthMBps})
+		out[k] = capacity.Measurement{
+			CPUAvail:      m.nodes[k].cpu.Forecast(),
+			FreeMemoryMB:  m.nodes[k].mem.Forecast(),
+			BandwidthMBps: m.nodes[k].bw.Forecast(),
+		}
+	}
+	m.senses++
+	m.last = out
+	if m.history != nil {
+		m.history.Record(now, out)
+	}
+	return out
+}
+
+// Last returns the most recent Sense result (nil before the first Sense).
+func (m *Monitor) Last() []capacity.Measurement {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.last == nil {
+		return nil
+	}
+	out := make([]capacity.Measurement, len(m.last))
+	copy(out, m.last)
+	return out
+}
+
+// Senses returns how many sensing sweeps have run.
+func (m *Monitor) Senses() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.senses
+}
+
+// NumNodes returns the monitored cluster size.
+func (m *Monitor) NumNodes() int { return len(m.nodes) }
+
+// String summarizes the monitor state.
+func (m *Monitor) String() string {
+	return fmt.Sprintf("monitor{%d nodes, %d senses}", m.NumNodes(), m.Senses())
+}

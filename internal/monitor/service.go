@@ -1,0 +1,153 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"samrpart/internal/capacity"
+)
+
+// Response is the wire format of one monitoring query: the forecast
+// measurements per node and the relative capacities derived from them.
+type Response struct {
+	Time         string                 `json:"time"`
+	Measurements []capacity.Measurement `json:"measurements"`
+	Capacities   []float64              `json:"capacities"`
+	Error        string                 `json:"error,omitempty"`
+}
+
+// Service exposes a Monitor over a line-based TCP protocol: a client sends
+// "SENSE\n" and receives one JSON Response per line. This is the repo's
+// NWS-daemon analogue; cmd/nwsmon wraps it.
+type Service struct {
+	mon     *Monitor
+	weights capacity.Weights
+	clock   func() float64
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewService wraps a monitor. clock supplies the sensing timestamps (e.g.
+// seconds since service start); weights configure the capacity metric.
+func NewService(mon *Monitor, weights capacity.Weights, clock func() float64) *Service {
+	return &Service{mon: mon, weights: weights, clock: clock}
+}
+
+// Serve accepts and handles connections until the listener fails or Close
+// is called. It blocks.
+func (s *Service) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the service's listener.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Service) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		cmd := sc.Text()
+		if cmd != "SENSE" {
+			enc.Encode(Response{Error: fmt.Sprintf("unknown command %q", cmd)})
+			continue
+		}
+		ms := s.mon.Sense(s.clock())
+		caps, err := capacity.Relative(ms, s.weights)
+		resp := Response{
+			Time:         time.Now().Format(time.RFC3339),
+			Measurements: ms,
+			Capacities:   caps,
+		}
+		if err != nil {
+			resp = Response{Error: err.Error()}
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Query performs one SENSE round trip against a running Service.
+func Query(addr string, timeout time.Duration) (*Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if _, err := fmt.Fprintln(conn, "SENSE"); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("monitor: bad response: %w", err)
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("monitor: remote error: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// RemoteProber adapts a remote monitor Service to the Prober interface: a
+// consumer (e.g. a capacity calculator on another machine) can feed a local
+// Monitor from a remote one. Probe results come from the most recent Sync.
+type RemoteProber struct {
+	Addr    string
+	Timeout time.Duration
+
+	mu   sync.Mutex
+	last []capacity.Measurement
+}
+
+// Sync queries the remote service and caches its measurements.
+func (p *RemoteProber) Sync() error {
+	resp, err := Query(p.Addr, p.Timeout)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.last = resp.Measurements
+	p.mu.Unlock()
+	return nil
+}
+
+// NumNodes implements Prober (0 before the first successful Sync).
+func (p *RemoteProber) NumNodes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.last)
+}
+
+// Probe implements Prober.
+func (p *RemoteProber) Probe(k int) capacity.Measurement {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if k < 0 || k >= len(p.last) {
+		return capacity.Measurement{}
+	}
+	return p.last[k]
+}

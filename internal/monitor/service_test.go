@@ -1,0 +1,132 @@
+package monitor
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"samrpart/internal/capacity"
+	"samrpart/internal/cluster"
+)
+
+func startService(t *testing.T) (addr string, clus *cluster.Cluster, svc *Service) {
+	t.Helper()
+	clus = newTestCluster(t)
+	clus.Node(0).AddLoad(cluster.Step{CPU: 0.6, MemMB: 100})
+	mon := NewAdaptiveMonitor(ClusterProber{C: clus})
+	svc = NewService(mon, capacity.EqualWeights(), clus.Now)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go svc.Serve(ln)
+	t.Cleanup(func() { svc.Close() })
+	return ln.Addr().String(), clus, svc
+}
+
+func TestServiceQuery(t *testing.T) {
+	addr, _, _ := startService(t)
+	resp, err := Query(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Measurements) != 4 || len(resp.Capacities) != 4 {
+		t.Fatalf("response shape: %d measurements, %d capacities",
+			len(resp.Measurements), len(resp.Capacities))
+	}
+	sum := 0.0
+	for _, c := range resp.Capacities {
+		sum += c
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("capacities sum to %g", sum)
+	}
+	// The loaded node 0 reports the lowest capacity.
+	for k := 1; k < 4; k++ {
+		if resp.Capacities[0] >= resp.Capacities[k] {
+			t.Errorf("loaded node not penalized: %v", resp.Capacities)
+		}
+	}
+}
+
+func TestServiceRepeatedQueriesTrackLoad(t *testing.T) {
+	addr, clus, _ := startService(t)
+	first, err := Query(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus.Node(0).ClearLoad()
+	clus.Advance(1)
+	second, err := Query(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Capacities[0] <= first.Capacities[0] {
+		t.Errorf("capacity did not recover after load cleared: %.3f -> %.3f",
+			first.Capacities[0], second.Capacities[0])
+	}
+}
+
+func TestServiceUnknownCommand(t *testing.T) {
+	addr, _, _ := startService(t)
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("BOGUS\n"))
+	buf := make([]byte, 256)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf[:n]); !contains(got, "unknown command") {
+		t.Errorf("response = %q", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQueryErrors(t *testing.T) {
+	if _, err := Query("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Error("query to dead address succeeded")
+	}
+}
+
+func TestRemoteProber(t *testing.T) {
+	addr, _, _ := startService(t)
+	p := &RemoteProber{Addr: addr, Timeout: 2 * time.Second}
+	if p.NumNodes() != 0 {
+		t.Error("prober has nodes before Sync")
+	}
+	if m := p.Probe(0); m != (capacity.Measurement{}) {
+		t.Error("Probe before Sync not zero")
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", p.NumNodes())
+	}
+	m := p.Probe(1)
+	if m.CPUAvail <= 0 || m.BandwidthMBps <= 0 {
+		t.Errorf("Probe(1) = %+v", m)
+	}
+	if p.Probe(99) != (capacity.Measurement{}) {
+		t.Error("out-of-range probe should be zero")
+	}
+	// A local monitor can be layered on the remote prober.
+	local := New(p, func() Forecaster { return &LastValue{} })
+	ms := local.Sense(0)
+	if len(ms) != 4 {
+		t.Errorf("layered monitor senses %d nodes", len(ms))
+	}
+}

@@ -1,0 +1,90 @@
+package partition
+
+import (
+	"sort"
+
+	"samrpart/internal/capacity"
+	"samrpart/internal/geom"
+)
+
+// Greedy is a capacity-aware longest-processing-time (LPT) list scheduler:
+// boxes are taken largest-first and each goes to the node with the smallest
+// assigned-to-ideal ratio. It never splits boxes, so its balance degrades
+// when the list is coarse — a useful comparison point for the ablation on
+// splitting.
+type Greedy struct{}
+
+// Name implements Partitioner.
+func (Greedy) Name() string { return "GreedyLPT" }
+
+// Partition implements Partitioner.
+func (Greedy) Partition(boxes geom.BoxList, caps []float64, work WorkFunc) (*Assignment, error) {
+	if err := checkInputs(boxes, caps); err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, b := range boxes {
+		total += work(b)
+	}
+	a := &Assignment{
+		Work:  make([]float64, len(caps)),
+		Ideal: capacity.Shares(caps, total),
+	}
+	ordered := boxes.Clone()
+	ordered.SortBy(func(b geom.Box) int64 { return -int64(work(b)) })
+	for _, b := range ordered {
+		best, bestRatio := -1, 0.0
+		for k := range caps {
+			if a.Ideal[k] <= 0 {
+				continue
+			}
+			r := a.Work[k] / a.Ideal[k]
+			if best < 0 || r < bestRatio {
+				best, bestRatio = k, r
+			}
+		}
+		if best < 0 {
+			best = 0
+		}
+		a.Boxes = append(a.Boxes, b)
+		a.Owners = append(a.Owners, best)
+		a.Work[best] += work(b)
+	}
+	return a, nil
+}
+
+// RoundRobin deals boxes to nodes cyclically in deterministic list order,
+// oblivious to both work and capacity — the weakest baseline.
+type RoundRobin struct{}
+
+// Name implements Partitioner.
+func (RoundRobin) Name() string { return "RoundRobin" }
+
+// Partition implements Partitioner.
+func (RoundRobin) Partition(boxes geom.BoxList, caps []float64, work WorkFunc) (*Assignment, error) {
+	if err := checkInputs(boxes, caps); err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, b := range boxes {
+		total += work(b)
+	}
+	a := &Assignment{
+		Work:  make([]float64, len(caps)),
+		Ideal: capacity.Shares(caps, total),
+	}
+	ordered := boxes.Clone()
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Level != ordered[j].Level {
+			return ordered[i].Level < ordered[j].Level
+		}
+		return ordered[i].Lo.Less(ordered[j].Lo)
+	})
+	for i, b := range ordered {
+		k := i % len(caps)
+		a.Boxes = append(a.Boxes, b)
+		a.Owners = append(a.Owners, k)
+		a.Work[k] += work(b)
+	}
+	return a, nil
+}

@@ -1,0 +1,136 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"samrpart/internal/capacity"
+	"samrpart/internal/geom"
+	"samrpart/internal/sfc"
+)
+
+// Hierarchical is a two-level partitioner in the style of the hierarchical
+// partitioning techniques of the SAMR literature (a sibling line of work to
+// the paper): the cluster is divided into groups of GroupSize nodes, the
+// SFC-ordered box list is first split across groups in proportion to each
+// group's aggregate capacity (preserving coarse locality: a group owns a
+// contiguous curve segment), and each group's segment is then distributed
+// among its members ACEHeterogeneous-style. On large clusters this bounds
+// the work of any single partitioning decision and maps naturally onto
+// multi-switch topologies.
+type Hierarchical struct {
+	Constraints Constraints
+	Curve       sfc.Curve
+	RefineRatio int
+	// GroupSize is the number of nodes per group (the last group may be
+	// smaller). Must be >= 1.
+	GroupSize int
+}
+
+// NewHierarchical returns a hierarchical partitioner with 4-node groups.
+func NewHierarchical(refineRatio int) *Hierarchical {
+	return &Hierarchical{
+		Constraints: DefaultConstraints(),
+		Curve:       sfc.Hilbert{},
+		RefineRatio: refineRatio,
+		GroupSize:   4,
+	}
+}
+
+// Name implements Partitioner.
+func (h *Hierarchical) Name() string { return "Hierarchical" }
+
+// Partition implements Partitioner.
+func (h *Hierarchical) Partition(boxes geom.BoxList, caps []float64, work WorkFunc) (*Assignment, error) {
+	if err := checkInputs(boxes, caps); err != nil {
+		return nil, err
+	}
+	if err := h.Constraints.Validate(); err != nil {
+		return nil, err
+	}
+	if h.GroupSize < 1 {
+		return nil, fmt.Errorf("partition: group size %d < 1", h.GroupSize)
+	}
+	total := 0.0
+	for _, b := range boxes {
+		total += work(b)
+	}
+	out := &Assignment{
+		Work:  make([]float64, len(caps)),
+		Ideal: capacity.Shares(caps, total),
+	}
+	if len(boxes) == 0 {
+		return out, nil
+	}
+	// Group the nodes and aggregate their capacities.
+	type group struct {
+		members []int
+		cap     float64
+	}
+	var groups []group
+	for start := 0; start < len(caps); start += h.GroupSize {
+		end := start + h.GroupSize
+		if end > len(caps) {
+			end = len(caps)
+		}
+		g := group{}
+		for k := start; k < end; k++ {
+			g.members = append(g.members, k)
+			g.cap += caps[k]
+		}
+		groups = append(groups, g)
+	}
+	// Stage 1: SFC-order the composite list and cut it into per-group
+	// segments proportional to group capacity.
+	ordered := boxes.Clone()
+	domain, err := baseFootprint(ordered, h.RefineRatio)
+	if err != nil {
+		return nil, err
+	}
+	mapper := sfc.NewMapper(h.Curve, domain, h.RefineRatio)
+	mapper.Sort(ordered)
+	groupQuotas := make([]float64, len(groups))
+	groupOrder := make([]int, len(groups))
+	for i, g := range groups {
+		groupQuotas[i] = g.cap * total
+		groupOrder[i] = i
+	}
+	stage1 := fillQuotas(ordered, groupOrder, groupQuotas, work, h.Constraints)
+	// Stage 2: within each group, distribute its segment among members in
+	// ascending-capacity order with member-level quotas.
+	for gi, g := range groups {
+		segment := stage1.NodeBoxes(gi)
+		if len(segment) == 0 {
+			continue
+		}
+		segTotal := 0.0
+		for _, b := range segment {
+			segTotal += work(b)
+		}
+		memberCaps := make([]float64, len(g.members))
+		for i, k := range g.members {
+			if g.cap > 0 {
+				memberCaps[i] = caps[k] / g.cap
+			} else {
+				memberCaps[i] = 1 / float64(len(g.members))
+			}
+		}
+		quotas := capacity.Shares(memberCaps, segTotal)
+		segment.SortBy(func(b geom.Box) int64 { return int64(work(b)) })
+		order := make([]int, len(g.members))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return memberCaps[order[a]] < memberCaps[order[b]]
+		})
+		sub := fillQuotas(segment, order, quotas, work, h.Constraints)
+		for i, b := range sub.Boxes {
+			node := g.members[sub.Owners[i]]
+			out.Boxes = append(out.Boxes, b)
+			out.Owners = append(out.Owners, node)
+			out.Work[node] += work(b)
+		}
+	}
+	return out, nil
+}

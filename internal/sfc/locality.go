@@ -1,0 +1,121 @@
+package sfc
+
+import (
+	"math"
+
+	"samrpart/internal/geom"
+)
+
+// LocalityStats quantifies how well a curve preserves spatial locality, the
+// property GrACE's composite distribution depends on.
+type LocalityStats struct {
+	// MeanNeighborGap is the mean |index(p) - index(q)| over all pairs of
+	// face-adjacent lattice points — lower means spatial neighbors stay
+	// close on the curve.
+	MeanNeighborGap float64
+	// MaxNeighborGap is the worst such gap.
+	MaxNeighborGap uint64
+	// MeanSegmentSurface is, for an equal split of the curve into
+	// segments (one per "node"), the mean number of exposed cell faces
+	// per owned cell — exactly the ghost-communication surface a node
+	// pays when it owns a contiguous curve segment. Lower is better.
+	MeanSegmentSurface float64
+}
+
+// MeasureLocality computes the stats for a curve over the full lattice of
+// the given rank and bits (keep rank*bits modest: the scan is exhaustive).
+// segments controls the segment-span metric (e.g. the node count).
+func MeasureLocality(c Curve, rank, bits, segments int) LocalityStats {
+	n := 1 << uint(bits)
+	total := uint64(1) << uint(rank*bits)
+	var stats LocalityStats
+	var gapSum float64
+	var gapCount int64
+	// Neighbor gaps: for each point, look at +1 neighbors per axis.
+	var walk func(d int, p geom.Point)
+	walk = func(d int, p geom.Point) {
+		if d == rank {
+			idx := c.Index(p, rank, bits)
+			for ax := 0; ax < rank; ax++ {
+				q := p
+				q[ax]++
+				if q[ax] >= n {
+					continue
+				}
+				jdx := c.Index(q, rank, bits)
+				gap := idx - jdx
+				if jdx > idx {
+					gap = jdx - idx
+				}
+				gapSum += float64(gap)
+				gapCount++
+				if gap > stats.MaxNeighborGap {
+					stats.MaxNeighborGap = gap
+				}
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			p[d] = v
+			walk(d+1, p)
+		}
+	}
+	walk(0, geom.Point{})
+	if gapCount > 0 {
+		stats.MeanNeighborGap = gapSum / float64(gapCount)
+	}
+	// Segment surfaces: assign cell -> segment by curve position, then
+	// count faces whose neighbor lies in a different segment (or outside
+	// the lattice).
+	if segments > 0 {
+		per := total / uint64(segments)
+		if per == 0 {
+			per = 1
+		}
+		segOf := func(idx uint64) uint64 { return idx / per }
+		var surfSum float64
+		var cells int64
+		var scan func(d int, p geom.Point)
+		scan = func(d int, p geom.Point) {
+			if d == rank {
+				mine := segOf(c.Index(p, rank, bits))
+				faces := 0
+				for ax := 0; ax < rank; ax++ {
+					for _, dir := range [2]int{-1, 1} {
+						q := p
+						q[ax] += dir
+						if q[ax] < 0 || q[ax] >= n {
+							continue // physical boundary: no ghost traffic
+						}
+						if segOf(c.Index(q, rank, bits)) != mine {
+							faces++
+						}
+					}
+				}
+				surfSum += float64(faces)
+				cells++
+				return
+			}
+			for v := 0; v < n; v++ {
+				p[d] = v
+				scan(d+1, p)
+			}
+		}
+		scan(0, geom.Point{})
+		if cells > 0 {
+			stats.MeanSegmentSurface = surfSum / float64(cells)
+		}
+	}
+	return stats
+}
+
+// SurfaceToVolume returns the ghost-surface to interior-volume ratio of a
+// box — the communication-to-computation proxy partition quality affects.
+func SurfaceToVolume(b geom.Box, ghost int) float64 {
+	interior := float64(b.Cells())
+	if interior == 0 {
+		return math.Inf(1)
+	}
+	halo := float64(b.Grow(ghost).Cells()) - interior
+	return halo / interior
+}

@@ -1,0 +1,182 @@
+package solver
+
+import (
+	"math"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/geom"
+)
+
+// MUSCLAdvection is second-order upwind scalar advection: piecewise-linear
+// reconstruction with the minmod slope limiter (monotone, TVD), dimension
+// by dimension. Compared to the first-order Advection kernel it transports
+// features with far less numerical diffusion at the cost of a 2-cell halo —
+// the scheme family the production SAMR codes of the period used.
+type MUSCLAdvection struct {
+	Velocity [geom.MaxDim]float64
+	Center   [geom.MaxDim]float64
+	Width    float64
+	Dim      int
+}
+
+// NewMUSCLAdvection2D returns a 2D MUSCL kernel with a Gaussian pulse.
+func NewMUSCLAdvection2D(vx, vy, cx, cy, width float64) *MUSCLAdvection {
+	return &MUSCLAdvection{
+		Dim:      2,
+		Velocity: [geom.MaxDim]float64{vx, vy, 0},
+		Center:   [geom.MaxDim]float64{cx, cy, 0},
+		Width:    width,
+	}
+}
+
+// Name implements Kernel.
+func (a *MUSCLAdvection) Name() string { return "muscl-advection" }
+
+// Rank implements Kernel.
+func (a *MUSCLAdvection) Rank() int { return a.Dim }
+
+// NumFields implements Kernel.
+func (a *MUSCLAdvection) NumFields() int { return 1 }
+
+// Ghost implements Kernel: the limited reconstruction reads two upwind
+// cells per Runge-Kutta stage, and the two-stage SSP-RK2 integrator
+// evaluates the first stage on the interior grown by two cells.
+func (a *MUSCLAdvection) Ghost() int { return 4 }
+
+// FlopsPerCell implements Kernel.
+func (a *MUSCLAdvection) FlopsPerCell() float64 { return 30 }
+
+// Init implements Kernel.
+func (a *MUSCLAdvection) Init(p *amr.Patch, g Grid) {
+	fd := p.Field(0)
+	w2 := a.Width * a.Width
+	fillPadded(p, func(pt geom.Point) {
+		x, y, z := g.CellCenter(pt)
+		r2 := sq(x-a.Center[0]) + sq(y-a.Center[1])
+		if a.Dim == 3 {
+			r2 += sq(z - a.Center[2])
+		}
+		fd[offsetOf(p, pt)] = math.Exp(-r2 / w2)
+	})
+}
+
+// MaxDT implements Kernel.
+func (a *MUSCLAdvection) MaxDT(_ *amr.Patch, g Grid) float64 {
+	sum := 0.0
+	for d := 0; d < a.Dim; d++ {
+		sum += math.Abs(a.Velocity[d]) / g.H[d]
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return 0.45 / sum
+}
+
+// minmod is the TVD slope limiter.
+func minmod(x, y float64) float64 {
+	if x*y <= 0 {
+		return 0
+	}
+	if math.Abs(x) < math.Abs(y) {
+		return x
+	}
+	return y
+}
+
+// rhs returns -div(v u) at pt from the limited MUSCL reconstruction of
+// the field values in src (indexed through patch p's layout).
+func (a *MUSCLAdvection) rhs(p *amr.Patch, src []float64, g Grid, pt geom.Point) float64 {
+	faceValue := func(pt geom.Point, d int) float64 {
+		// State advected through face (pt-1/2 .. pt) along axis d for
+		// positive velocity: upwind cell pt-1 plus its limited slope.
+		um2, um1, u0 := pt, pt, pt
+		um2[d] -= 2
+		um1[d]--
+		s := minmod(
+			src[offsetOf(p, um1)]-src[offsetOf(p, um2)],
+			src[offsetOf(p, u0)]-src[offsetOf(p, um1)],
+		)
+		return src[offsetOf(p, um1)] + 0.5*s
+	}
+	faceValueNeg := func(pt geom.Point, d int) float64 {
+		// Negative velocity: upwind cell is pt itself, slope toward pt+1.
+		u0, up1 := pt, pt
+		up1[d]++
+		um1 := pt
+		um1[d]--
+		s := minmod(
+			src[offsetOf(p, u0)]-src[offsetOf(p, um1)],
+			src[offsetOf(p, up1)]-src[offsetOf(p, u0)],
+		)
+		return src[offsetOf(p, u0)] - 0.5*s
+	}
+	acc := 0.0
+	for d := 0; d < a.Dim; d++ {
+		vel := a.Velocity[d]
+		if vel == 0 {
+			continue
+		}
+		hi := pt
+		hi[d]++
+		var fluxLo, fluxHi float64
+		if vel > 0 {
+			fluxLo = vel * faceValue(pt, d)
+			fluxHi = vel * faceValue(hi, d)
+		} else {
+			fluxLo = vel * faceValueNeg(pt, d)
+			fluxHi = vel * faceValueNeg(hi, d)
+		}
+		acc -= (fluxHi - fluxLo) / g.H[d]
+	}
+	return acc
+}
+
+// Step implements Kernel with the two-stage SSP-RK2 (Heun) integrator:
+// u1 = u + dt L(u) on the interior grown by two cells, then
+// u <- (u + u1 + dt L(u1)) / 2 on the interior.
+func (a *MUSCLAdvection) Step(next, cur *amr.Patch, g Grid, dt float64) {
+	src, dst := cur.Field(0), next.Field(0)
+	// Stage 1 into a scratch buffer covering the padded region; cells not
+	// recomputed keep the old value (only interior+2 is read by stage 2).
+	u1 := make([]float64, len(src))
+	copy(u1, src)
+	stage1Region := cur.Box.Grow(2)
+	forEachIn(cur, stage1Region, func(pt geom.Point) {
+		u1[offsetOf(cur, pt)] = src[offsetOf(cur, pt)] + dt*a.rhs(cur, src, g, pt)
+	})
+	cur.EachInterior(func(pt geom.Point) {
+		off := offsetOf(cur, pt)
+		dst[offsetOf(next, pt)] = 0.5 * (src[off] + u1[off] + dt*a.rhs(cur, u1, g, pt))
+	})
+}
+
+// forEachIn visits every cell of region using patch p's rank.
+func forEachIn(p *amr.Patch, region geom.Box, fn func(pt geom.Point)) {
+	var pt geom.Point
+	switch p.Box.Rank {
+	case 2:
+		for y := region.Lo[1]; y <= region.Hi[1]; y++ {
+			pt[1] = y
+			for x := region.Lo[0]; x <= region.Hi[0]; x++ {
+				pt[0] = x
+				fn(pt)
+			}
+		}
+	default:
+		for z := region.Lo[2]; z <= region.Hi[2]; z++ {
+			pt[2] = z
+			for y := region.Lo[1]; y <= region.Hi[1]; y++ {
+				pt[1] = y
+				for x := region.Lo[0]; x <= region.Hi[0]; x++ {
+					pt[0] = x
+					fn(pt)
+				}
+			}
+		}
+	}
+}
+
+// Flag implements Kernel.
+func (a *MUSCLAdvection) Flag(p *amr.Patch, g Grid, f *amr.FlagField, threshold float64) {
+	GradientFlag(p, 0, 1.0, threshold, f)
+}

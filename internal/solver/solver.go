@@ -1,0 +1,144 @@
+// Package solver provides the numerical kernels that drive the AMR
+// hierarchy: a 3D compressible Euler solver configured as a
+// Richtmyer–Meshkov-style shock/interface problem (the paper's evaluation
+// kernel), a 2D Buckley–Leverett two-phase reservoir kernel (GrACE's
+// motivating application family) and scalar advection kernels for tests and
+// the quickstart example.
+//
+// Kernels are patch-local: they advance the interior of one amr.Patch given
+// filled halos, expose a CFL-stable time step, and flag cells whose local
+// error estimate exceeds a threshold. The runtime (internal/engine) owns
+// halo exchange, subcycling and regridding.
+package solver
+
+import (
+	"samrpart/internal/amr"
+	"samrpart/internal/geom"
+)
+
+// Grid carries the geometry of one refinement level: the physical cell
+// width per axis.
+type Grid struct {
+	H [geom.MaxDim]float64
+}
+
+// UniformGrid returns a grid with the same cell width on every axis.
+func UniformGrid(h float64) Grid {
+	return Grid{H: [geom.MaxDim]float64{h, h, h}}
+}
+
+// Refined returns the grid of the next finer level.
+func (g Grid) Refined(ratio int) Grid {
+	for d := range g.H {
+		g.H[d] /= float64(ratio)
+	}
+	return g
+}
+
+// CellCenter returns the physical coordinates of cell pt's center.
+func (g Grid) CellCenter(pt geom.Point) (x, y, z float64) {
+	x = (float64(pt[0]) + 0.5) * g.H[0]
+	y = (float64(pt[1]) + 0.5) * g.H[1]
+	z = (float64(pt[2]) + 0.5) * g.H[2]
+	return
+}
+
+// Kernel is a patch-local numerical scheme.
+type Kernel interface {
+	// Name identifies the kernel.
+	Name() string
+	// Rank is the spatial dimensionality.
+	Rank() int
+	// NumFields is the number of conserved fields.
+	NumFields() int
+	// Ghost is the halo width the scheme's stencil requires.
+	Ghost() int
+	// Init fills a patch (interior and halo) with the initial condition.
+	Init(p *amr.Patch, g Grid)
+	// MaxDT returns the largest stable time step for the patch.
+	MaxDT(p *amr.Patch, g Grid) float64
+	// Step advances cur's interior by dt into next, reading cur's halos.
+	Step(next, cur *amr.Patch, g Grid, dt float64)
+	// Flag marks interior cells whose error estimate exceeds threshold.
+	Flag(p *amr.Patch, g Grid, f *amr.FlagField, threshold float64)
+	// FlopsPerCell estimates the floating-point work of one cell update,
+	// the per-kernel constant the cluster time model scales by.
+	FlopsPerCell() float64
+}
+
+// ApplyOutflowBC fills the halo of p by copying the nearest interior cell
+// outward (zero-gradient/outflow boundary), for every field. The runtime
+// applies it after neighbor exchange to cover halo cells no patch supplied.
+func ApplyOutflowBC(p *amr.Patch) {
+	if p.Ghost == 0 {
+		return
+	}
+	for f := 0; f < p.NumFields; f++ {
+		fd := p.Field(f)
+		padded := p.Padded()
+		var pt geom.Point
+		var walk func(d int)
+		walk = func(d int) {
+			if d == p.Box.Rank {
+				clamped := pt
+				inside := true
+				for k := 0; k < p.Box.Rank; k++ {
+					if clamped[k] < p.Box.Lo[k] {
+						clamped[k] = p.Box.Lo[k]
+						inside = false
+					} else if clamped[k] > p.Box.Hi[k] {
+						clamped[k] = p.Box.Hi[k]
+						inside = false
+					}
+				}
+				if !inside {
+					fd[offsetOf(p, pt)] = fd[offsetOf(p, clamped)]
+				}
+				return
+			}
+			for v := padded.Lo[d]; v <= padded.Hi[d]; v++ {
+				pt[d] = v
+				walk(d + 1)
+			}
+			pt[d] = 0
+		}
+		walk(0)
+	}
+}
+
+// offsetOf exposes patch linear indexing to the kernels in this package
+// without widening the amr.Patch API surface.
+func offsetOf(p *amr.Patch, pt geom.Point) int {
+	off := 0
+	for d := 0; d < p.Box.Rank; d++ {
+		off += (pt[d] - p.Padded().Lo[d]) * p.Stride(d)
+	}
+	return off
+}
+
+// GradientFlag is the shared error estimator: it flags interior cells where
+// the normalized central-difference gradient magnitude of field f exceeds
+// threshold. scale normalizes the field's dynamic range (use the expected
+// max-min of the field).
+func GradientFlag(p *amr.Patch, field int, scale, threshold float64, flags *amr.FlagField) {
+	if scale <= 0 {
+		scale = 1
+	}
+	fd := p.Field(field)
+	p.EachInterior(func(pt geom.Point) {
+		grad := 0.0
+		for d := 0; d < p.Box.Rank; d++ {
+			lo, hi := pt, pt
+			lo[d]--
+			hi[d]++
+			dv := (fd[offsetOf(p, hi)] - fd[offsetOf(p, lo)]) / 2
+			if dv < 0 {
+				dv = -dv
+			}
+			grad += dv
+		}
+		if grad/scale > threshold {
+			flags.Set(pt)
+		}
+	})
+}

@@ -1,0 +1,240 @@
+// Package trace records what the runtime did — per-regrid work assignments,
+// capacities, imbalance, and the virtual-time cost breakdown — and renders
+// the tables and data series the experiment harness prints. It is the
+// bookkeeping behind every figure and table reproduction.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"samrpart/internal/capacity"
+)
+
+// AssignmentRecord captures one regrid/repartition event.
+type AssignmentRecord struct {
+	// Regrid is the ordinal of this regrid (1-based, as in the paper's
+	// figures).
+	Regrid int
+	// Iter is the coarse iteration at which the regrid happened.
+	Iter int
+	// VirtualTime is the cluster clock at the event.
+	VirtualTime float64
+	// Caps are the relative capacities used for this partition.
+	Caps []float64
+	// Work is the per-node assigned load W_k.
+	Work []float64
+	// Ideal is the per-node capacity share L_k.
+	Ideal []float64
+	// Boxes is the number of output boxes.
+	Boxes int
+}
+
+// MaxImbalance returns max_k |W_k - L_k| / L_k * 100 for the record.
+func (r AssignmentRecord) MaxImbalance() float64 {
+	return capacity.MaxImbalance(r.Work, r.Ideal)
+}
+
+// RunTrace aggregates one experiment run.
+type RunTrace struct {
+	// Name labels the run ("ACEHeterogeneous/P=32").
+	Name string
+	// Nodes is the cluster size.
+	Nodes int
+	// Iterations is the number of coarse iterations executed.
+	Iterations int
+	// Records holds one entry per regrid.
+	Records []AssignmentRecord
+	// ExecTime is the total virtual execution time in seconds, the
+	// paper's headline metric.
+	ExecTime float64
+	// Breakdown of ExecTime.
+	ComputeTime, CommTime, SenseTime, RegridTime float64
+	// Senses is how many sensing sweeps ran.
+	Senses int
+	// MovedBytes is the total data volume redistributed across all
+	// repartitions (owner changes), a locality/affinity metric.
+	MovedBytes float64
+	// Utilization[k] is node k's mean busy fraction during compute phases
+	// (its compute time over the step's critical path); 1.0 on every node
+	// means perfect balance.
+	Utilization []float64
+}
+
+// MeanUtilization averages the per-node utilization.
+func (t *RunTrace) MeanUtilization() float64 {
+	if len(t.Utilization) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, u := range t.Utilization {
+		sum += u
+	}
+	return sum / float64(len(t.Utilization))
+}
+
+// MeanMaxImbalance averages the per-regrid maximum imbalance.
+func (t *RunTrace) MeanMaxImbalance() float64 {
+	if len(t.Records) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range t.Records {
+		sum += r.MaxImbalance()
+	}
+	return sum / float64(len(t.Records))
+}
+
+// Summary formats the headline numbers.
+func (t *RunTrace) Summary() string {
+	return fmt.Sprintf("%s: %d nodes, %d iters, exec %.1fs (compute %.1f, comm %.1f, sense %.1f, regrid %.1f), mean max imbalance %.1f%%",
+		t.Name, t.Nodes, t.Iterations, t.ExecTime,
+		t.ComputeTime, t.CommTime, t.SenseTime, t.RegridTime, t.MeanMaxImbalance())
+}
+
+// Table is a simple aligned-text / CSV table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; it pads or truncates to the header width.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddF appends a row of formatted values: strings pass through, float64
+// render with %g-style compact precision, ints with %d.
+func (t *Table) AddF(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, strconv.FormatFloat(v, 'f', 1, 64))
+		case int:
+			row = append(row, strconv.Itoa(v))
+		case int64:
+			row = append(row, strconv.FormatInt(v, 10))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.Add(row...)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as comma-separated values (header first).
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series is a labelled data series for figure-style output (one line per
+// x-value with one column per label).
+type Series struct {
+	Title  string
+	XName  string
+	Labels []string
+	X      []float64
+	Y      [][]float64 // Y[i][j] = value of Labels[j] at X[i]
+}
+
+// NewSeries creates a series container.
+func NewSeries(title, xname string, labels ...string) *Series {
+	return &Series{Title: title, XName: xname, Labels: labels}
+}
+
+// Add appends one x row with len(Labels) values.
+func (s *Series) Add(x float64, ys ...float64) {
+	s.X = append(s.X, x)
+	row := make([]float64, len(s.Labels))
+	copy(row, ys)
+	s.Y = append(s.Y, row)
+}
+
+// Render writes the series as an aligned table.
+func (s *Series) Render(w io.Writer) error {
+	t := NewTable(s.Title, append([]string{s.XName}, s.Labels...)...)
+	for i, x := range s.X {
+		cells := make([]string, 0, 1+len(s.Labels))
+		cells = append(cells, strconv.FormatFloat(x, 'f', -1, 64))
+		for _, y := range s.Y[i] {
+			cells = append(cells, strconv.FormatFloat(y, 'f', 1, 64))
+		}
+		t.Add(cells...)
+	}
+	return t.Render(w)
+}

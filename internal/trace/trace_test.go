@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssignmentRecordImbalance(t *testing.T) {
+	r := AssignmentRecord{
+		Work:  []float64{110, 95},
+		Ideal: []float64{100, 100},
+	}
+	if got := r.MaxImbalance(); got != 10 {
+		t.Errorf("MaxImbalance = %g", got)
+	}
+}
+
+func TestRunTraceSummaryAndMean(t *testing.T) {
+	tr := RunTrace{
+		Name: "test", Nodes: 4, Iterations: 10, ExecTime: 42,
+		Records: []AssignmentRecord{
+			{Work: []float64{110}, Ideal: []float64{100}},
+			{Work: []float64{130}, Ideal: []float64{100}},
+		},
+	}
+	if got := tr.MeanMaxImbalance(); got != 20 {
+		t.Errorf("MeanMaxImbalance = %g", got)
+	}
+	s := tr.Summary()
+	if !strings.Contains(s, "test") || !strings.Contains(s, "42.0") {
+		t.Errorf("Summary = %q", s)
+	}
+	var empty RunTrace
+	if empty.MeanMaxImbalance() != 0 {
+		t.Error("empty trace imbalance != 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Results", "name", "value")
+	tab.Add("alpha", "1")
+	tab.Add("beta-long", "22")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	if lines[0] != "Results" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// Columns aligned: "alpha    " padded to "beta-long" width.
+	if !strings.Contains(lines[3], "alpha      1") {
+		t.Errorf("row = %q", lines[3])
+	}
+}
+
+func TestTableAddPads(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.Add("only")
+	if len(tab.Rows[0]) != 3 || tab.Rows[0][1] != "" {
+		t.Errorf("Rows[0] = %v", tab.Rows[0])
+	}
+	tab.Add("1", "2", "3", "4") // extra truncated
+	if len(tab.Rows[1]) != 3 {
+		t.Error("extra cells not truncated")
+	}
+}
+
+func TestTableAddF(t *testing.T) {
+	tab := NewTable("", "s", "f", "i", "i64", "other")
+	tab.AddF("x", 3.14159, 7, int64(9), true)
+	row := tab.Rows[0]
+	if row[0] != "x" || row[1] != "3.1" || row[2] != "7" || row[3] != "9" || row[4] != "true" {
+		t.Errorf("AddF row = %v", row)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.Add("1", "x,y")
+	var sb strings.Builder
+	if err := tab.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("Fig", "x", "p0", "p1")
+	s.Add(1, 10, 20)
+	s.Add(2, 30) // missing value padded with 0
+	var sb strings.Builder
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "p0") || !strings.Contains(out, "30.0") {
+		t.Errorf("Series render = %q", out)
+	}
+	if s.Y[1][1] != 0 {
+		t.Error("missing value not padded")
+	}
+}

@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReduceOp combines two float64 values in an all-reduce.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	ReduceSum ReduceOp = iota
+	ReduceMin
+	ReduceMax
+)
+
+func (op ReduceOp) apply(a, b float64) float64 {
+	switch op {
+	case ReduceSum:
+		return a + b
+	case ReduceMin:
+		return math.Min(a, b)
+	case ReduceMax:
+		return math.Max(a, b)
+	default:
+		panic(fmt.Sprintf("transport: unknown reduce op %d", op))
+	}
+}
+
+func (op ReduceOp) identity() float64 {
+	switch op {
+	case ReduceSum:
+		return 0
+	case ReduceMin:
+		return math.Inf(1)
+	case ReduceMax:
+		return math.Inf(-1)
+	default:
+		panic(fmt.Sprintf("transport: unknown reduce op %d", op))
+	}
+}
+
+// AllReduceFloat64 combines one float64 per rank with op and returns the
+// result on every rank. Every rank of the group must call it in the same
+// collective order.
+func AllReduceFloat64(ep Endpoint, v float64, op ReduceOp) (float64, error) {
+	payload, err := EncodeGob(v)
+	if err != nil {
+		return 0, err
+	}
+	all, err := ep.AllGather(payload)
+	if err != nil {
+		return 0, err
+	}
+	acc := op.identity()
+	for _, p := range all {
+		var x float64
+		if err := DecodeGob(p, &x); err != nil {
+			return 0, err
+		}
+		acc = op.apply(acc, x)
+	}
+	return acc, nil
+}
+
+// AllReduceFloat64s element-wise all-reduces a vector (all ranks must pass
+// equal-length slices).
+func AllReduceFloat64s(ep Endpoint, v []float64, op ReduceOp) ([]float64, error) {
+	payload, err := EncodeGob(v)
+	if err != nil {
+		return nil, err
+	}
+	all, err := ep.AllGather(payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(v))
+	for i := range out {
+		out[i] = op.identity()
+	}
+	for _, p := range all {
+		var x []float64
+		if err := DecodeGob(p, &x); err != nil {
+			return nil, err
+		}
+		if len(x) != len(out) {
+			return nil, fmt.Errorf("transport: all-reduce length mismatch: %d vs %d", len(x), len(out))
+		}
+		for i := range out {
+			out[i] = op.apply(out[i], x[i])
+		}
+	}
+	return out, nil
+}

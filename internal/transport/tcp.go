@@ -1,0 +1,231 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// frame is the wire format of one TCP message.
+type frame struct {
+	From    int
+	Tag     string
+	Payload []byte
+}
+
+// tcpEndpoint is a rank of a TCP communicator: a full mesh of connections
+// on the loopback (or any) interface, length-prefixed gob frames, one
+// reader goroutine per peer demultiplexing into the tag-matched inbox.
+type tcpEndpoint struct {
+	rank  int
+	size  int
+	conns []net.Conn // conns[r] connects to rank r (nil for self)
+	encs  []*gob.Encoder
+	wmu   []sync.Mutex
+	inbox *inbox
+	coll  collectives
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPGroup builds an n-rank communicator over TCP on the given host
+// (e.g. "127.0.0.1"). All ranks live in this process — the helper binds n
+// listeners on ephemeral ports and dials the full mesh. For cross-process
+// deployment use Listen/Dial with explicit addresses.
+func NewTCPGroup(n int, host string) ([]Endpoint, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: group size %d < 1", n)
+	}
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+		if err != nil {
+			for j := 0; j < i; j++ {
+				listeners[j].Close()
+			}
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	eps := make([]*tcpEndpoint, n)
+	for i := 0; i < n; i++ {
+		eps[i] = &tcpEndpoint{
+			rank:  i,
+			size:  n,
+			conns: make([]net.Conn, n),
+			wmu:   make([]sync.Mutex, n),
+			inbox: newInbox(),
+		}
+	}
+	// Mesh: rank i dials every rank j > i; the lower rank accepts. The
+	// dialer sends its rank first so the acceptor can place the conn.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2*n)
+	for i := 0; i < n; i++ {
+		i := i
+		expect := i // ranks j > i will dial listener i... accept n-1-i conns
+		_ = expect
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < n-1-i; c++ {
+				conn, err := listeners[i].Accept()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var peer int32
+				if err := binary.Read(conn, binary.BigEndian, &peer); err != nil {
+					errCh <- err
+					return
+				}
+				eps[i].conns[peer] = conn
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < i; j++ {
+				conn, err := net.Dial("tcp", addrs[j])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := binary.Write(conn, binary.BigEndian, int32(i)); err != nil {
+					errCh <- err
+					return
+				}
+				eps[i].conns[j] = conn
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for i := range listeners {
+		listeners[i].Close()
+	}
+	if err := <-errCh; err != nil {
+		for _, ep := range eps {
+			ep.Close()
+		}
+		return nil, fmt.Errorf("transport: mesh setup: %w", err)
+	}
+	out := make([]Endpoint, n)
+	for i, ep := range eps {
+		ep.startReaders()
+		out[i] = ep
+	}
+	return out, nil
+}
+
+// startReaders builds the per-connection gob encoders (gob is a stream
+// protocol: one persistent encoder must feed each persistent decoder) and
+// launches one demux goroutine per peer connection.
+func (e *tcpEndpoint) startReaders() {
+	e.encs = make([]*gob.Encoder, e.size)
+	for r, conn := range e.conns {
+		if conn == nil || r == e.rank {
+			continue
+		}
+		e.encs[r] = gob.NewEncoder(conn)
+		e.wg.Add(1)
+		go func(conn net.Conn) {
+			defer e.wg.Done()
+			dec := gob.NewDecoder(conn)
+			for {
+				var f frame
+				if err := dec.Decode(&f); err != nil {
+					if err != io.EOF {
+						// Connection torn down; pending receivers learn
+						// about it through inbox closure on Close.
+						_ = err
+					}
+					return
+				}
+				e.inbox.put(f.From, f.Tag, f.Payload)
+			}
+		}(conn)
+	}
+}
+
+// Rank implements Endpoint.
+func (e *tcpEndpoint) Rank() int { return e.rank }
+
+// Size implements Endpoint.
+func (e *tcpEndpoint) Size() int { return e.size }
+
+// Send implements Endpoint.
+func (e *tcpEndpoint) Send(to int, tag string, payload []byte) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if to < 0 || to >= e.size {
+		return fmt.Errorf("transport: send to invalid rank %d", to)
+	}
+	if to == e.rank {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		e.inbox.put(e.rank, tag, cp)
+		return nil
+	}
+	e.wmu[to].Lock()
+	defer e.wmu[to].Unlock()
+	enc := e.encs[to]
+	if enc == nil {
+		return fmt.Errorf("transport: no connection to rank %d", to)
+	}
+	return enc.Encode(frame{From: e.rank, Tag: tag, Payload: payload})
+}
+
+// Recv implements Endpoint.
+func (e *tcpEndpoint) Recv(from int, tag string) ([]byte, error) {
+	if from < 0 || from >= e.size {
+		return nil, fmt.Errorf("transport: recv from invalid rank %d", from)
+	}
+	return e.inbox.get(from, tag)
+}
+
+// Barrier implements Endpoint.
+func (e *tcpEndpoint) Barrier() error {
+	_, err := allGather(e, e.coll.nextTag("barrier"), nil)
+	return err
+}
+
+// AllGather implements Endpoint.
+func (e *tcpEndpoint) AllGather(payload []byte) ([][]byte, error) {
+	return allGather(e, e.coll.nextTag("allgather"), payload)
+}
+
+// Bcast implements Endpoint.
+func (e *tcpEndpoint) Bcast(root int, payload []byte) ([]byte, error) {
+	return bcast(e, e.coll.nextTag("bcast"), root, payload)
+}
+
+// Close implements Endpoint.
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, conn := range e.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	e.wg.Wait()
+	e.inbox.close()
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package transport is the message-passing layer the engine runs on — the
+// repo's stand-in for MPI, since no Go MPI/AMR ecosystem exists. It offers
+// tagged point-to-point messaging plus the collectives the SAMR runtime
+// needs (barrier, all-gather, broadcast), over two interchangeable
+// implementations: an in-process channel transport (Group) for the virtual
+// cluster, and a TCP transport (TCPGroup) exercising real sockets.
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Endpoint is one rank's connection to a communicator group. All collective
+// operations must be entered by every rank of the group in the same order.
+type Endpoint interface {
+	// Rank is this endpoint's id in [0, Size).
+	Rank() int
+	// Size is the group size.
+	Size() int
+	// Send delivers payload to rank `to` under the given tag. It does not
+	// wait for the receiver.
+	Send(to int, tag string, payload []byte) error
+	// Recv blocks until a message with the given source and tag arrives
+	// and returns its payload.
+	Recv(from int, tag string) ([]byte, error)
+	// Barrier blocks until every rank has entered it.
+	Barrier() error
+	// AllGather exchanges payloads; the result holds rank i's payload at
+	// index i (including the caller's own).
+	AllGather(payload []byte) ([][]byte, error)
+	// Bcast broadcasts root's payload to all ranks; non-root callers
+	// ignore their payload argument and receive root's.
+	Bcast(root int, payload []byte) ([]byte, error)
+	// Close releases the endpoint; blocked receivers return ErrClosed.
+	Close() error
+}
+
+// inboxKey routes messages by (source, tag).
+type inboxKey struct {
+	from int
+	tag  string
+}
+
+// inbox is a thread-safe tag-matched message store shared by both
+// transports.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[inboxKey][][]byte
+	closed bool
+}
+
+func newInbox() *inbox {
+	ib := &inbox{queues: make(map[inboxKey][][]byte)}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) put(from int, tag string, payload []byte) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return
+	}
+	k := inboxKey{from, tag}
+	ib.queues[k] = append(ib.queues[k], payload)
+	ib.cond.Broadcast()
+}
+
+func (ib *inbox) get(from int, tag string) ([]byte, error) {
+	k := inboxKey{from, tag}
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		if q := ib.queues[k]; len(q) > 0 {
+			msg := q[0]
+			if len(q) == 1 {
+				delete(ib.queues, k)
+			} else {
+				ib.queues[k] = q[1:]
+			}
+			return msg, nil
+		}
+		if ib.closed {
+			return nil, ErrClosed
+		}
+		ib.cond.Wait()
+	}
+}
+
+func (ib *inbox) close() {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	ib.closed = true
+	ib.cond.Broadcast()
+}
+
+// collectives implements Barrier/AllGather/Bcast on top of Send/Recv with
+// per-generation tags, so back-to-back collectives cannot cross-match.
+type collectives struct {
+	gen int
+}
+
+func (c *collectives) nextTag(op string) string {
+	c.gen++
+	return fmt.Sprintf("__%s_%d", op, c.gen)
+}
+
+func allGather(ep Endpoint, tag string, payload []byte) ([][]byte, error) {
+	size, rank := ep.Size(), ep.Rank()
+	out := make([][]byte, size)
+	out[rank] = payload
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		if err := ep.Send(r, tag, payload); err != nil {
+			return nil, err
+		}
+	}
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		p, err := ep.Recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = p
+	}
+	return out, nil
+}
+
+func bcast(ep Endpoint, tag string, root int, payload []byte) ([]byte, error) {
+	if ep.Rank() == root {
+		for r := 0; r < ep.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := ep.Send(r, tag, payload); err != nil {
+				return nil, err
+			}
+		}
+		return payload, nil
+	}
+	return ep.Recv(root, tag)
+}
+
+// EncodeGob serializes v with encoding/gob for use as a message payload.
+func EncodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeGob deserializes a payload produced by EncodeGob into v.
+func DecodeGob(payload []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}

@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"samrpart/internal/amr"
 	"samrpart/internal/checkpoint"
@@ -35,8 +37,39 @@ func main() {
 		saveCkpt = flag.String("save", "", "write a checkpoint of the final state to this file")
 		loadCkpt = flag.String("restore", "", "restore hierarchy/solution from this checkpoint before running")
 		stats    = flag.Bool("stats", false, "print per-level hierarchy statistics")
+		workers  = flag.Int("workers", 0, "solver worker-pool width (0 = all cores, 1 = serial; any value is bit-exact)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amrun:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "amrun:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "amrun:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "amrun:", err)
+			}
+		}()
+	}
 
 	var p partition.Partitioner
 	switch *pname {
@@ -119,6 +152,7 @@ func main() {
 		RegridEvery: *regrid,
 		SenseEvery:  *sense,
 		Forecaster:  *forecast,
+		Workers:     *workers,
 	}, clus)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amrun:", err)

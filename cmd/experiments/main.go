@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"samrpart/internal/exp"
 )
@@ -31,11 +33,44 @@ func main() {
 		table2    = flag.Bool("table2", false, "Table II: dynamic vs static sensing")
 		table3    = flag.Bool("table3", false, "Table III / Figures 12-15: sensing frequency sweep")
 		ablations = flag.Bool("ablations", false, "design-choice ablations")
+		workers   = flag.Int("workers", 0, "cap scheduler threads via GOMAXPROCS (0 = leave as-is); experiment configs drive solver kernels internally, so this bounds their pool width")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if !(*all || *fig7 || *fig8 || *fig11 || *table2 || *table3 || *ablations || *scaling) {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 	type job struct {
 		on   bool

@@ -1,0 +1,87 @@
+package amr
+
+import (
+	"testing"
+
+	"samrpart/internal/geom"
+)
+
+func TestAppendHaloBoxes(t *testing.T) {
+	cases := []*Patch{
+		NewPatch(geom.Box2(2, 3, 9, 7), 2, 1),
+		NewPatch(geom.Box3(0, 0, 0, 7, 5, 3), 1, 2),
+		NewPatch(geom.Box2(0, 0, 3, 3), 0, 1),
+	}
+	for _, p := range cases {
+		shell := p.AppendHaloBoxes(nil)
+		if p.Ghost == 0 {
+			if len(shell) != 0 {
+				t.Errorf("ghost 0 patch has %d halo boxes", len(shell))
+			}
+			continue
+		}
+		var cells int64
+		for i, b := range shell {
+			if b.Empty() {
+				t.Errorf("halo box %d empty: %v", i, b)
+			}
+			if !b.Intersect(p.Box).Empty() {
+				t.Errorf("halo box %v overlaps interior %v", b, p.Box)
+			}
+			for j := i + 1; j < len(shell); j++ {
+				if !b.Intersect(shell[j]).Empty() {
+					t.Errorf("halo boxes %v and %v overlap", b, shell[j])
+				}
+			}
+			cells += b.Cells()
+		}
+		want := p.Padded().Cells() - p.Box.Cells()
+		if cells != want {
+			t.Errorf("halo boxes cover %d cells, want %d", cells, want)
+		}
+	}
+}
+
+// TestProlongRegionMatchesSaveRestore checks that prolonging only the halo
+// shell produces exactly the state the old save-interior / prolong-everything
+// / restore-interior sequence produced.
+func TestProlongRegionMatchesSaveRestore(t *testing.T) {
+	const ratio = 2
+	coarse := NewPatch(geom.Box2(0, 0, 15, 15), 1, 2)
+	coarse.EachInterior(func(pt geom.Point) {
+		coarse.Set(0, pt, float64(pt[0]+100*pt[1]))
+		coarse.Set(1, pt, float64(pt[0]*pt[1]))
+	})
+	mkFine := func() *Patch {
+		fb := geom.Box2(8, 8, 19, 19)
+		fb.Level = 1
+		f := NewPatch(fb, 2, 2)
+		f.EachInterior(func(pt geom.Point) {
+			f.Set(0, pt, -float64(pt[0]))
+			f.Set(1, pt, -float64(pt[1]))
+		})
+		return f
+	}
+
+	// Old sequence.
+	oldFine := mkFine()
+	saved := NewPatch(oldFine.Box, 0, oldFine.NumFields)
+	CopyOverlap(saved, oldFine)
+	Prolong(oldFine, coarse, ratio)
+	CopyOverlap(oldFine, saved)
+
+	// New sequence: shell-only prolongation.
+	newFine := mkFine()
+	for _, hb := range newFine.AppendHaloBoxes(nil) {
+		ProlongRegion(newFine, coarse, ratio, hb)
+	}
+
+	for f := 0; f < oldFine.NumFields; f++ {
+		of, nf := oldFine.Field(f), newFine.Field(f)
+		for i := range of {
+			if of[i] != nf[i] {
+				t.Fatalf("field %d offset %d: save/restore %g != shell %g", f, i, of[i], nf[i])
+			}
+		}
+	}
+}

@@ -141,6 +141,31 @@ func (p *Patch) eachIn(region geom.Box, fn func(pt geom.Point)) {
 	}
 }
 
+// AppendHaloBoxes appends the patch's halo shell — the padded box minus the
+// interior — to dst as disjoint boxes (up to 2·Rank slabs) and returns the
+// extended slice. The shell is empty when Ghost == 0. The decomposition is
+// the usual one: for axis d, two slabs outside the interior along d, spanning
+// the interior extent on axes < d and the full padded extent on axes > d.
+func (p *Patch) AppendHaloBoxes(dst []geom.Box) []geom.Box {
+	if p.Ghost == 0 {
+		return dst
+	}
+	rank := p.Box.Rank
+	for d := 0; d < rank; d++ {
+		lo, hi := p.padded.Lo, p.padded.Hi
+		for k := 0; k < d; k++ {
+			lo[k], hi[k] = p.Box.Lo[k], p.Box.Hi[k]
+		}
+		low, high := p.padded, p.padded
+		low.Lo, low.Hi = lo, hi
+		high.Lo, high.Hi = lo, hi
+		low.Hi[d] = p.Box.Lo[d] - 1
+		high.Lo[d] = p.Box.Hi[d] + 1
+		dst = append(dst, low, high)
+	}
+	return dst
+}
+
 // CopyOverlap copies the interior cells of src that fall inside dst's padded
 // region (interior or halo) into dst, for every field. Both patches must
 // live on the same level and have the same field count. It returns the

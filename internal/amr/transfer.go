@@ -10,12 +10,21 @@ import (
 // written in both the fine interior and halo, which is how coarse-fine
 // boundary conditions are supplied. Returns the number of fine cells filled.
 func Prolong(fine, coarse *Patch, ratio int) int64 {
+	return ProlongRegion(fine, coarse, ratio, fine.Padded())
+}
+
+// ProlongRegion is Prolong restricted to the fine cells inside region
+// (clipped to the fine padded box and the coarse interior). The halo-fill
+// path uses it to supply coarse-fine boundary conditions without touching
+// the fine interior, which keeps concurrent per-patch halo fills free of
+// cross-patch writes.
+func ProlongRegion(fine, coarse *Patch, ratio int, region geom.Box) int64 {
 	if fine.NumFields != coarse.NumFields {
 		panic("amr: Prolong field count mismatch")
 	}
 	coarseAsFine := coarse.Box.Refine(ratio)
 	coarseAsFine.Level = fine.Box.Level
-	region := fine.Padded().Intersect(coarseAsFine)
+	region = region.Intersect(fine.Padded()).Intersect(coarseAsFine)
 	if region.Empty() {
 		return 0
 	}

@@ -15,6 +15,7 @@ import (
 	"samrpart/internal/amr"
 	"samrpart/internal/geom"
 	"samrpart/internal/hdda"
+	"samrpart/internal/parallel"
 	"samrpart/internal/sfc"
 	"samrpart/internal/solver"
 )
@@ -37,6 +38,14 @@ type Application interface {
 	// Regridded tells the application the hierarchy changed so it can
 	// rebuild its solution storage.
 	Regridded(h *amr.Hierarchy) error
+}
+
+// WorkerConfigurable is implemented by applications whose patch loops can
+// fan out over an intra-node worker pool. The engine forwards its Workers
+// knob to any application implementing it.
+type WorkerConfigurable interface {
+	// SetWorkers sets the worker count: 0 = all cores, 1 = serial.
+	SetWorkers(n int)
 }
 
 // Feature is one moving refinement driver of the synthetic application: a
@@ -219,17 +228,36 @@ type SimApp struct {
 	BaseGrid solver.Grid
 	// Threshold is the error-estimator flag threshold.
 	Threshold float64
+	// Workers is the intra-node worker count for patch-level parallelism:
+	// 0 fans out over all cores (GOMAXPROCS), 1 runs serially. Any worker
+	// count produces bit-identical solutions — per-patch tasks write only
+	// their own patch, and reductions fold in deterministic index order.
+	Workers int
 
 	// patches is the HDDA holding one solution patch per hierarchy box —
 	// the GrACE layering: application grid objects on the hierarchical
 	// distributed dynamic array substrate.
 	patches *hdda.Array[*amr.Patch]
+
+	// spares holds retired per-box patches for double buffering: stepLevel
+	// writes into the spare and retires the previous patch, so steady-state
+	// stepping allocates nothing. Reset on regrid (boxes change shape).
+	spares map[geom.Box]*amr.Patch
+
+	// Reusable prefetch buffers for the parallel sections (patch pointers
+	// are gathered serially because the HDDA directory is not
+	// goroutine-safe; the parallel tasks then touch only these slices).
+	curBuf, nextBuf, auxBuf []*amr.Patch
+	haloBuf, parentBuf      []*amr.Patch
 }
 
 // NewSimApp builds a kernel-backed application.
 func NewSimApp(k solver.Kernel, baseGrid solver.Grid, threshold float64) *SimApp {
 	return &SimApp{Kernel: k, BaseGrid: baseGrid, Threshold: threshold}
 }
+
+// SetWorkers implements WorkerConfigurable.
+func (s *SimApp) SetWorkers(n int) { s.Workers = n }
 
 // Name implements Application.
 func (s *SimApp) Name() string { return s.Kernel.Name() }
@@ -269,6 +297,7 @@ func (s *SimApp) ExportPatches() map[geom.Box]*amr.Patch {
 func (s *SimApp) ImportPatches(patches map[geom.Box]*amr.Patch, domain geom.Box, refineRatio int) {
 	space := hdda.NewIndexSpace(sfc.Hilbert{}, domain, refineRatio)
 	s.patches = hdda.NewArray[*amr.Patch](space)
+	s.spares = nil
 	for b, p := range patches {
 		s.patches.Put(b, p)
 	}
@@ -302,6 +331,7 @@ func (s *SimApp) Regridded(h *amr.Hierarchy) error {
 		space = old.Space()
 	}
 	s.patches = hdda.NewArray[*amr.Patch](space)
+	s.spares = nil // box set changed; retired buffers no longer match
 	for l := 0; l < h.NumLevels(); l++ {
 		for _, b := range h.Level(l) {
 			if old != nil {
@@ -336,8 +366,26 @@ func (s *SimApp) Regridded(h *amr.Hierarchy) error {
 	return nil
 }
 
+// levelPatches gathers the stored patch of every box on a level into buf.
+// Patch pointers are prefetched serially so the parallel sections below
+// never touch the HDDA directory concurrently.
+func (s *SimApp) levelPatches(h *amr.Hierarchy, level int, buf []*amr.Patch) ([]*amr.Patch, error) {
+	boxes := h.Level(level)
+	buf = buf[:0]
+	for _, b := range boxes {
+		p, err := s.patch(b)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, p)
+	}
+	return buf, nil
+}
+
 // Flags implements Application: run the kernel's error estimator over every
-// level that can host a child.
+// level that can host a child. Patches flag concurrently — each patch only
+// sets flags inside its own interior, and same-level interiors are disjoint,
+// so the shared flag field sees no conflicting writes.
 func (s *SimApp) Flags(h *amr.Hierarchy, iter int) ([]*amr.FlagField, error) {
 	cfg := h.Config()
 	var flags []*amr.FlagField
@@ -346,13 +394,14 @@ func (s *SimApp) Flags(h *amr.Hierarchy, iter int) ([]*amr.FlagField, error) {
 		g := s.grid(h, l)
 		// The estimator's stencil reads halo cells; refresh them first.
 		s.fillHalos(h, l)
-		for _, b := range h.Level(l) {
-			p, err := s.patch(b)
-			if err != nil {
-				return nil, err
-			}
-			s.Kernel.Flag(p, g, f, s.Threshold)
+		ps, err := s.levelPatches(h, l, s.curBuf)
+		if err != nil {
+			return nil, err
 		}
+		s.curBuf = ps
+		parallel.For(s.Workers, len(ps), func(i int) {
+			s.Kernel.Flag(ps[i], g, f, s.Threshold)
+		})
 		f.Buffer(1)
 		flags = append(flags, f)
 	}
@@ -360,7 +409,9 @@ func (s *SimApp) Flags(h *amr.Hierarchy, iter int) ([]*amr.FlagField, error) {
 }
 
 // Advance implements Application: one coarse step with Berger–Oliger
-// subcycling. The coarse dt is the stability minimum over all levels.
+// subcycling. The coarse dt is the stability minimum over all levels. The
+// per-patch dt scans run on the worker pool; the min folds serially in
+// level/box order, so the result is bit-exact for any worker count.
 func (s *SimApp) Advance(h *amr.Hierarchy, iter int) error {
 	cfg := h.Config()
 	ratio := cfg.RefineRatio
@@ -368,15 +419,14 @@ func (s *SimApp) Advance(h *amr.Hierarchy, iter int) error {
 	for l := 0; l < h.NumLevels(); l++ {
 		g := s.grid(h, l)
 		scale := float64(amr.StepsPerCoarse(l, ratio))
-		for _, b := range h.Level(l) {
-			p, err := s.patch(b)
-			if err != nil {
-				return err
-			}
-			if dt := s.Kernel.MaxDT(p, g) * scale; dt < dt0 {
-				dt0 = dt
-			}
+		ps, err := s.levelPatches(h, l, s.curBuf)
+		if err != nil {
+			return err
 		}
+		s.curBuf = ps
+		dt0 = parallel.MapReduce(s.Workers, len(ps), dt0,
+			func(i int) float64 { return s.Kernel.MaxDT(ps[i], g) * scale },
+			func(acc, dt float64) float64 { return math.Min(acc, dt) })
 	}
 	if math.IsInf(dt0, 1) {
 		dt0 = 0
@@ -387,38 +437,62 @@ func (s *SimApp) Advance(h *amr.Hierarchy, iter int) error {
 		}
 	}
 	// Restrict updated fine solutions onto their parents, finest first.
+	// Coarse patches restrict concurrently: each task writes only its own
+	// coarse interior and reads fine interiors nobody mutates.
 	for l := h.NumLevels() - 1; l > 0; l-- {
-		for _, cb := range h.Level(l - 1) {
-			cp, err := s.patch(cb)
-			if err != nil {
-				return err
-			}
-			for _, fb := range h.Level(l) {
-				fp, err := s.patch(fb)
-				if err != nil {
-					return err
-				}
-				amr.Restrict(cp, fp, ratio)
-			}
+		cps, err := s.levelPatches(h, l-1, s.curBuf)
+		if err != nil {
+			return err
 		}
+		s.curBuf = cps
+		fps, err := s.levelPatches(h, l, s.auxBuf)
+		if err != nil {
+			return err
+		}
+		s.auxBuf = fps
+		parallel.For(s.Workers, len(cps), func(i int) {
+			for _, fp := range fps {
+				amr.Restrict(cps[i], fp, ratio)
+			}
+		})
 	}
 	return nil
 }
 
-// stepLevel advances every patch of one level by dt. Halo priority, lowest
-// to highest: outflow extrapolation (physical boundary fallback), parent
-// prolongation (coarse-fine boundaries), same-level neighbor copies.
+// stepLevel advances every patch of one level by dt on the worker pool.
+// Each task reads its own pre-fetched patch (halos already filled) and
+// writes into a private double buffer, so tasks never share mutable state;
+// the buffers are committed to the HDDA serially afterwards. The retired
+// patch becomes the box's spare, making steady-state stepping allocation
+// free.
 func (s *SimApp) stepLevel(h *amr.Hierarchy, level int, dt float64) error {
 	s.fillHalos(h, level)
 	g := s.grid(h, level)
-	for _, b := range h.Level(level) {
-		p, err := s.patch(b)
-		if err != nil {
-			return err
+	boxes := h.Level(level)
+	ps, err := s.levelPatches(h, level, s.curBuf)
+	if err != nil {
+		return err
+	}
+	s.curBuf = ps
+	if cap(s.nextBuf) < len(boxes) {
+		s.nextBuf = make([]*amr.Patch, len(boxes))
+	}
+	nexts := s.nextBuf[:len(boxes)]
+	if s.spares == nil {
+		s.spares = map[geom.Box]*amr.Patch{}
+	}
+	for i, b := range boxes {
+		if nexts[i] = s.spares[b]; nexts[i] == nil {
+			nexts[i] = amr.NewPatch(b, ps[i].Ghost, ps[i].NumFields)
 		}
-		next := amr.NewPatch(b, p.Ghost, p.NumFields)
-		s.Kernel.Step(next, p, g, dt)
-		s.patches.Put(b, next)
+	}
+	parallel.For(s.Workers, len(boxes), func(i int) {
+		s.Kernel.Step(nexts[i], ps[i], g, dt)
+	})
+	for i, b := range boxes {
+		s.spares[b] = ps[i]
+		s.patches.Put(b, nexts[i])
+		nexts[i] = nil
 	}
 	return nil
 }
@@ -426,34 +500,50 @@ func (s *SimApp) stepLevel(h *amr.Hierarchy, level int, dt float64) error {
 // fillHalos refreshes the halo cells of every patch on a level. Priority,
 // lowest to highest: outflow extrapolation (physical boundary fallback),
 // parent prolongation (coarse-fine boundaries), same-level neighbor copies.
+// Patches fill concurrently: every task writes only its own halo shell
+// (ProlongRegion is clipped to the shell; CopyOverlap from disjoint
+// neighbors can only land in the halo) and reads only interiors, which no
+// task mutates — so any worker count reproduces the serial fill exactly.
 func (s *SimApp) fillHalos(h *amr.Hierarchy, level int) {
 	ratio := h.Config().RefineRatio
 	boxes := h.Level(level)
-	for _, b := range boxes {
-		p, ok := s.patches.Get(b)
-		if !ok {
-			continue
-		}
-		solver.ApplyOutflowBC(p)
-		if level > 0 {
-			// Prolong writes everywhere under a parent patch, so save the
-			// fine interior (the authoritative data) and restore it after.
-			saved := amr.NewPatch(b, 0, p.NumFields)
-			amr.CopyOverlap(saved, p)
-			for _, cb := range h.Level(level - 1) {
-				if cp, ok := s.patches.Get(cb); ok {
-					amr.Prolong(p, cp, ratio)
-				}
-			}
-			amr.CopyOverlap(p, saved)
-		}
-		for _, nb := range boxes {
-			if nb.Equal(b) {
-				continue
-			}
-			if np, ok := s.patches.Get(nb); ok {
-				amr.CopyOverlap(p, np)
+	if cap(s.haloBuf) < len(boxes) {
+		s.haloBuf = make([]*amr.Patch, len(boxes))
+	}
+	lps := s.haloBuf[:len(boxes)]
+	for i, b := range boxes {
+		lps[i], _ = s.patches.Get(b)
+	}
+	parents := s.parentBuf[:0]
+	if level > 0 {
+		for _, cb := range h.Level(level - 1) {
+			if cp, ok := s.patches.Get(cb); ok {
+				parents = append(parents, cp)
 			}
 		}
 	}
+	s.parentBuf = parents
+	parallel.For(s.Workers, len(boxes), func(i int) {
+		p := lps[i]
+		if p == nil {
+			return
+		}
+		solver.ApplyOutflowBC(p)
+		if len(parents) > 0 && p.Ghost > 0 {
+			// Coarse-fine boundary conditions, written shell-only so the
+			// interior stays untouched while neighbors read it.
+			var hb [2 * geom.MaxDim]geom.Box
+			for _, slab := range p.AppendHaloBoxes(hb[:0]) {
+				for _, cp := range parents {
+					amr.ProlongRegion(p, cp, ratio, slab)
+				}
+			}
+		}
+		for j, np := range lps {
+			if j == i || np == nil {
+				continue
+			}
+			amr.CopyOverlap(p, np)
+		}
+	})
 }

@@ -36,6 +36,11 @@ type Config struct {
 	// paper's capacity calculator distributes on the *current* system
 	// state as reported by NWS.
 	Forecaster string
+	// Workers is the intra-node worker count forwarded to applications
+	// that support patch-level parallelism (WorkerConfigurable): 0 fans
+	// out over all cores, 1 forces serial execution. Either way the
+	// solution is bit-identical.
+	Workers int
 }
 
 func (c Config) validate() error {
@@ -70,6 +75,11 @@ type Engine struct {
 	assign      *partition.Assignment
 	tr          *trace.RunTrace
 	busySeconds []float64
+
+	// stepCost scratch, reused every iteration so the cost model allocates
+	// nothing on the per-step path.
+	costFlops, costBytes, costResident, costPerNode []float64
+	costMsgs                                        []int
 }
 
 // New builds an engine on the given cluster with an adaptive-forecast
@@ -96,6 +106,9 @@ func New(cfg Config, clus *cluster.Cluster) (*Engine, error) {
 		f, _ := monitor.NewForecaster(fname)
 		return f
 	})
+	if wc, ok := cfg.App.(WorkerConfigurable); ok {
+		wc.SetWorkers(cfg.Workers)
+	}
 	return &Engine{
 		cfg:  cfg,
 		clus: clus,
@@ -199,10 +212,20 @@ func movedBytes(old, new *partition.Assignment, bytesPerCell float64, nodes int)
 // utilization.
 func (e *Engine) stepCost() (compute, comm float64, perNode []float64) {
 	nodes := e.clus.NumNodes()
-	flops := make([]float64, nodes)
-	bytes := make([]float64, nodes)
-	resident := make([]float64, nodes) // working set, MB
-	msgs := make([]int, nodes)
+	if cap(e.costFlops) < nodes {
+		e.costFlops = make([]float64, nodes)
+		e.costBytes = make([]float64, nodes)
+		e.costResident = make([]float64, nodes)
+		e.costPerNode = make([]float64, nodes)
+		e.costMsgs = make([]int, nodes)
+	}
+	flops := e.costFlops[:nodes]
+	bytes := e.costBytes[:nodes]
+	resident := e.costResident[:nodes] // working set, MB
+	msgs := e.costMsgs[:nodes]
+	for k := 0; k < nodes; k++ {
+		flops[k], bytes[k], resident[k], msgs[k] = 0, 0, 0, 0
+	}
 	work := e.work()
 	fpc := e.cfg.App.FlopsPerCell()
 	bpc := e.cfg.App.BytesPerCell()
@@ -229,7 +252,7 @@ func (e *Engine) stepCost() (compute, comm float64, perNode []float64) {
 			msgs[owners[i]] += int(subSteps)
 		}
 	}
-	perNode = make([]float64, nodes)
+	perNode = e.costPerNode[:nodes]
 	for k := 0; k < nodes; k++ {
 		c := e.clus.ComputeTimeMem(k, flops[k]/1e6, resident[k])
 		perNode[k] = c

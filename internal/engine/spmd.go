@@ -51,6 +51,11 @@ type SPMDResult struct {
 	BytesSent int64
 	// Repartitions counts how many times ownership changed hands.
 	Repartitions int
+	// InteriorSteps counts patch steps taken while remote halo data was
+	// still in flight (compute/communication overlap); BoundarySteps counts
+	// steps that had to wait for remote regions first.
+	InteriorSteps int64
+	BoundarySteps int64
 }
 
 func (c SPMDConfig) validate() error {
@@ -106,6 +111,13 @@ type wireAssignment struct {
 // RunSPMDRank executes one rank of the SPMD program. Every rank must call
 // it with the same config and its own endpoint; rank 0 coordinates
 // partitioning decisions.
+//
+// The step loop overlaps computation with communication: ghost sends are
+// posted first, then patches whose halos are fully local ("interior"
+// patches) advance while remote halo regions are still in flight; the rank
+// only blocks on receives before advancing its "boundary" patches. The
+// split changes scheduling only — every patch still steps with a complete
+// halo — so the result stays bit-exact with serial execution.
 func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -129,6 +141,11 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 		k.Init(p, cfg.BaseGrid)
 		patches[b] = p
 	}
+	plan := buildGhostPlan(assign, ep.Rank(), k.Ghost())
+	// spares double-buffer the per-box patches: each step writes into the
+	// box's spare and retires the current patch, so the steady-state loop
+	// allocates no patch storage.
+	spares := map[geom.Box]*amr.Patch{}
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		// Repartition on schedule.
 		if cfg.RepartEvery > 0 && iter > 0 && iter%cfg.RepartEvery == 0 {
@@ -141,13 +158,18 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 				return nil, err
 			}
 			assign = newAssign
+			plan = buildGhostPlan(assign, ep.Rank(), k.Ghost())
+			clear(spares) // ownership changed; retired buffers are stale
 			res.Repartitions++
 		}
-		// Ghost exchange.
-		if err := exchangeGhosts(ep, assign, patches, k.Ghost(), iter, res); err != nil {
+		// Ghost exchange, phase 1: post remote sends, fill everything that
+		// is locally available (outflow fallback + same-rank copies).
+		if err := plan.postSends(ep, patches, res); err != nil {
 			return nil, err
 		}
-		// Global stable dt.
+		// Global stable dt. MaxDT reads interiors only, so computing it
+		// while halos are in flight matches the serial value bit-exactly;
+		// the all-reduce also gives the network time to progress.
 		dt := cfg.DT
 		if dt == 0 {
 			local := math.Inf(1)
@@ -164,11 +186,20 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 				dt = 0
 			}
 		}
-		// Step.
-		for b, p := range patches {
-			next := amr.NewPatch(b, p.Ghost, p.NumFields)
-			k.Step(next, p, cfg.BaseGrid, dt)
-			patches[b] = next
+		// Overlap: advance interior patches while remote halos are in
+		// flight.
+		for _, b := range plan.interior {
+			stepPatch(k, cfg.BaseGrid, patches, spares, b, dt)
+			res.InteriorSteps++
+		}
+		// Ghost exchange, phase 2: block on the remote regions, then
+		// finish the boundary patches.
+		if err := plan.finishRecvs(ep, patches); err != nil {
+			return nil, err
+		}
+		for _, b := range plan.boundary {
+			stepPatch(k, cfg.BaseGrid, patches, spares, b, dt)
+			res.BoundarySteps++
 		}
 	}
 	// Result.
@@ -179,6 +210,22 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 		res.L1Sum += sum
 	}
 	return res, nil
+}
+
+// stepPatch advances one owned patch by dt into its spare double buffer and
+// retires the current patch as the next spare. Halos of the spare are stale
+// but every halo cell is rewritten by the next exchange (outflow covers the
+// whole shell before copies land), so reuse is bit-exact with fresh
+// zero-filled patches.
+func stepPatch(k solver.Kernel, g solver.Grid, patches, spares map[geom.Box]*amr.Patch, b geom.Box, dt float64) {
+	p := patches[b]
+	next := spares[b]
+	if next == nil {
+		next = amr.NewPatch(b, p.Ghost, p.NumFields)
+	}
+	k.Step(next, p, g, dt)
+	patches[b] = next
+	spares[b] = p
 }
 
 // partitionAt computes capacities and the assignment for an iteration; rank
@@ -221,13 +268,19 @@ func (c SPMDConfig) partitionAt(ep transport.Endpoint, iter int, res *SPMDResult
 
 // extract serializes the values of region (all fields) from a patch.
 func extract(p *amr.Patch, region geom.Box) []float64 {
-	out := make([]float64, 0, int(region.Cells())*p.NumFields)
+	return extractInto(make([]float64, 0, int(region.Cells())*p.NumFields), p, region)
+}
+
+// extractInto is extract writing into dst's capacity (dst is truncated
+// first), so steady-state callers can reuse one scratch slice.
+func extractInto(dst []float64, p *amr.Patch, region geom.Box) []float64 {
+	dst = dst[:0]
 	for f := 0; f < p.NumFields; f++ {
 		forEachCell(region, func(pt geom.Point) {
-			out = append(out, p.At(f, pt))
+			dst = append(dst, p.At(f, pt))
 		})
 	}
-	return out
+	return dst
 }
 
 // apply writes serialized region values into a patch.
@@ -246,69 +299,128 @@ func apply(p *amr.Patch, region geom.Box, data []float64) error {
 	return nil
 }
 
-// exchangeGhosts fills every owned patch's halo: outflow fallback, local
-// neighbor copies, then remote regions received over the transport. The
-// transfer list is derived deterministically from the assignment on every
-// rank (sends first, then receives; the transport buffers sends).
-func exchangeGhosts(ep transport.Endpoint, a *partition.Assignment, patches map[geom.Box]*amr.Patch, ghost int, iter int, res *SPMDResult) error {
-	me := ep.Rank()
-	for _, p := range patches {
-		solver.ApplyOutflowBC(p)
-	}
-	// Local copies.
-	for _, p := range patches {
-		for _, q := range patches {
-			if p != q {
-				amr.CopyOverlap(p, q)
-			}
-		}
-	}
-	// Remote transfers: for each (dst i, src j) pair with grown(i) ∩ j
-	// non-empty and different owners.
-	type pending struct {
-		dst    geom.Box
-		region geom.Box
-		from   int
-		tag    string
-	}
-	var recvs []pending
+// ghostSend is one outgoing remote halo region: src is the owned source
+// patch, region the clipped cells inside the receiver's halo.
+type ghostSend struct {
+	src    geom.Box
+	region geom.Box
+	to     int
+	tag    string
+}
+
+// ghostRecv is one incoming remote halo region for owned patch dst.
+type ghostRecv struct {
+	dst    geom.Box
+	region geom.Box
+	from   int
+	tag    string
+}
+
+// ghostPlan is one rank's precomputed per-iteration halo exchange for a
+// fixed assignment: remote sends and receives, same-rank overlap copy
+// pairs, and the owned boxes classified as interior (halo fully local — can
+// step while remote data is in flight) vs boundary (must wait for at least
+// one receive). Building the plan once per assignment replaces the old
+// O(boxes²) pair scan and per-iteration tag formatting in the step loop.
+//
+// Tags are fixed per (dst, src) box pair with no iteration suffix: the
+// transport inbox is FIFO per (from, tag) and each pair carries exactly one
+// message per iteration, so a rank running ahead simply queues behind the
+// receiver's earlier iteration.
+type ghostPlan struct {
+	sends    []ghostSend
+	recvs    []ghostRecv
+	locals   [][2]geom.Box // (dst, src) owned pairs whose halos overlap
+	interior []geom.Box
+	boundary []geom.Box
+	// Scratch reused every iteration so the steady-state exchange allocates
+	// nothing on the send side (Send permits reuse as soon as it returns).
+	floatBuf []float64
+	byteBuf  []byte
+}
+
+// buildGhostPlan derives rank me's exchange plan from an assignment.
+func buildGhostPlan(a *partition.Assignment, me, ghost int) *ghostPlan {
+	pl := &ghostPlan{}
+	needsRemote := map[geom.Box]bool{}
 	for i, bi := range a.Boxes {
 		oi := a.Owners[i]
 		grown := bi.Grow(ghost)
 		for j, bj := range a.Boxes {
-			oj := a.Owners[j]
-			if i == j || oi == oj {
+			if i == j {
 				continue
 			}
 			region := grown.Intersect(bj)
 			if region.Empty() {
 				continue
 			}
-			tag := fmt.Sprintf("g%d-%d-%d", iter, i, j)
-			switch me {
-			case oj: // I own the source: send region values.
-				payload, err := transport.EncodeGob(extract(patches[bj], region))
-				if err != nil {
-					return err
+			oj := a.Owners[j]
+			tag := fmt.Sprintf("g%d-%d", i, j)
+			switch {
+			case oi == oj:
+				if oi == me {
+					pl.locals = append(pl.locals, [2]geom.Box{bi, bj})
 				}
-				if err := ep.Send(oi, tag, payload); err != nil {
-					return err
-				}
-				res.BytesSent += int64(len(payload))
-			case oi: // I own the destination: receive later.
-				recvs = append(recvs, pending{dst: bi, region: region, from: oj, tag: tag})
+			case oj == me: // I own the source: send region values.
+				pl.sends = append(pl.sends, ghostSend{src: bj, region: region, to: oi, tag: tag})
+			case oi == me: // I own the destination: receive.
+				pl.recvs = append(pl.recvs, ghostRecv{dst: bi, region: region, from: oj, tag: tag})
+				needsRemote[bi] = true
 			}
 		}
 	}
-	for _, r := range recvs {
+	for i, b := range a.Boxes {
+		if a.Owners[i] != me {
+			continue
+		}
+		if needsRemote[b] {
+			pl.boundary = append(pl.boundary, b)
+		} else {
+			pl.interior = append(pl.interior, b)
+		}
+	}
+	return pl
+}
+
+// postSends runs the non-blocking half of the halo exchange: outflow
+// fallback over every owned halo, remote region sends, and same-rank copies.
+// After it returns, every interior-class patch has a complete halo; boundary
+// patches still await finishRecvs.
+func (pl *ghostPlan) postSends(ep transport.Endpoint, patches map[geom.Box]*amr.Patch, res *SPMDResult) error {
+	for _, b := range pl.interior {
+		solver.ApplyOutflowBC(patches[b])
+	}
+	for _, b := range pl.boundary {
+		solver.ApplyOutflowBC(patches[b])
+	}
+	for _, s := range pl.sends {
+		pl.floatBuf = extractInto(pl.floatBuf, patches[s.src], s.region)
+		pl.byteBuf = transport.AppendFloats(pl.byteBuf[:0], pl.floatBuf)
+		if err := ep.Send(s.to, s.tag, pl.byteBuf); err != nil {
+			return err
+		}
+		res.BytesSent += int64(len(pl.byteBuf))
+	}
+	for _, pair := range pl.locals {
+		amr.CopyOverlap(patches[pair[0]], patches[pair[1]])
+	}
+	return nil
+}
+
+// finishRecvs blocks until every remote halo region has arrived and applies
+// them; boundary patches are complete afterwards. Regions from distinct
+// sources are disjoint, so apply order cannot affect the result.
+func (pl *ghostPlan) finishRecvs(ep transport.Endpoint, patches map[geom.Box]*amr.Patch) error {
+	for _, r := range pl.recvs {
 		payload, err := ep.Recv(r.from, r.tag)
 		if err != nil {
 			return err
 		}
-		var data []float64
-		if err := transport.DecodeGob(payload, &data); err != nil {
+		data, err := transport.DecodeFloats(payload, pl.floatBuf)
+		if err != nil {
 			return err
 		}
+		pl.floatBuf = data
 		if err := apply(patches[r.dst], r.region, data); err != nil {
 			return err
 		}
@@ -355,10 +467,7 @@ func redistribute(ep transport.Endpoint, old, new_ *partition.Assignment, patche
 			tag := fmt.Sprintf("r%d-%d-%d", iter, i, j)
 			switch me {
 			case oo:
-				payload, err := transport.EncodeGob(extract(patches[ob], region))
-				if err != nil {
-					return nil, err
-				}
+				payload := transport.EncodeFloats(extract(patches[ob], region))
 				if err := ep.Send(no, tag, payload); err != nil {
 					return nil, err
 				}
@@ -373,8 +482,8 @@ func redistribute(ep transport.Endpoint, old, new_ *partition.Assignment, patche
 		if err != nil {
 			return nil, err
 		}
-		var data []float64
-		if err := transport.DecodeGob(payload, &data); err != nil {
+		data, err := transport.DecodeFloats(payload, nil)
+		if err != nil {
 			return nil, err
 		}
 		if err := apply(next[r.dst], r.region, data); err != nil {
@@ -382,11 +491,4 @@ func redistribute(ep transport.Endpoint, old, new_ *partition.Assignment, patche
 		}
 	}
 	return next, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -118,6 +118,78 @@ func TestSPMDMatchesSerial(t *testing.T) {
 	if sent == 0 {
 		t.Error("no bytes moved between ranks")
 	}
+	checkOverlapCounters(t, results, iters, 16)
+}
+
+// checkOverlapCounters asserts the interior/boundary step accounting of a
+// multi-rank run: every patch steps exactly once per iteration regardless of
+// its overlap class (repartitions may split tiles into more boxes, so the
+// per-iteration patch count can only grow), and at least one patch had
+// remote neighbors (otherwise the run exercised no communication overlap).
+func checkOverlapCounters(t *testing.T, results []*SPMDResult, iters, tiles int) {
+	t.Helper()
+	var interior, boundary int64
+	for _, r := range results {
+		interior += r.InteriorSteps
+		boundary += r.BoundarySteps
+	}
+	if got, least := interior+boundary, int64(iters)*int64(tiles); got < least {
+		t.Errorf("interior %d + boundary %d steps = %d, want at least %d", interior, boundary, got, least)
+	}
+	if len(results) > 1 && boundary == 0 {
+		t.Error("multi-rank run stepped no boundary patches")
+	}
+}
+
+// TestSPMDOverlapMUSCL runs the wide-halo MUSCL kernel (ghost=4) over two
+// ranks: each rank's far row of tiles is interior (halo satisfied locally)
+// while the shared seam is boundary, so the run genuinely advances patches
+// during the ghost flight window — and must still match serial bit-exactly.
+func TestSPMDOverlapMUSCL(t *testing.T) {
+	const iters = 8
+	base := SPMDConfig{
+		Domain:      geom.Box2(0, 0, 31, 31),
+		TileSize:    8,
+		Kernel:      solver.NewMUSCLAdvection2D(1.0, 0.5, 0.4, 0.4, 0.12),
+		BaseGrid:    solver.UniformGrid(1.0 / 32),
+		Partitioner: partition.NewHetero(),
+		Iterations:  iters,
+	}
+	serialEps, err := transport.NewGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgSerial := base
+	cfgSerial.CapsAt = capsSwitcher(1)
+	serial := runSPMD(t, serialEps, cfgSerial)[0]
+
+	eps, err := transport.NewGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.CapsAt = capsSwitcher(2)
+	results := runSPMD(t, eps, cfg)
+
+	var l1 float64
+	var interior, boundary int64
+	for _, r := range results {
+		l1 += r.L1Sum
+		interior += r.InteriorSteps
+		boundary += r.BoundarySteps
+	}
+	if interior == 0 {
+		t.Error("no patch stepped during the ghost flight window (overlap never engaged)")
+	}
+	if boundary == 0 {
+		t.Error("no boundary patches despite a rank seam")
+	}
+	if interior+boundary != int64(iters)*16 {
+		t.Errorf("stepped %d patches, want %d", interior+boundary, iters*16)
+	}
+	if math.Abs(l1-serial.L1Sum) > 1e-12*math.Max(1, serial.L1Sum) {
+		t.Errorf("overlapped MUSCL L1 %.15g != serial %.15g", l1, serial.L1Sum)
+	}
 }
 
 func TestSPMDOverTCP(t *testing.T) {
@@ -155,6 +227,8 @@ func TestSPMDOverTCP(t *testing.T) {
 	if math.Abs(l1-serial.L1Sum) > 1e-12*math.Max(1, serial.L1Sum) {
 		t.Errorf("TCP L1 %.15g != serial %.15g", l1, serial.L1Sum)
 	}
+	// The overlapped exchange works identically over real sockets.
+	checkOverlapCounters(t, results, iters, 16)
 }
 
 func TestSPMDConfigValidation(t *testing.T) {

@@ -1,0 +1,84 @@
+// Package parallel provides the intra-node worker pool the runtime uses to
+// fan patch-level work (kernel steps, dt scans, error flagging) across CPU
+// cores. The pool is deliberately minimal: a bounded set of goroutines
+// pulling loop indices from an atomic counter. Determinism is the caller's
+// contract — tasks must write only task-private or per-index state, and any
+// reduction over per-index results must happen serially afterwards, in index
+// order. Under that contract a run with N workers is bit-exact with a run
+// with 1 worker.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n < 1 selects GOMAXPROCS (all
+// available cores), any other value is returned unchanged. The knob
+// convention across the repo is 0 = all cores, 1 = serial.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) across at most w workers. With w <= 1
+// (or n <= 1) the loop runs inline on the calling goroutine in index order,
+// which is the serial reference behavior. fn must not panic across worker
+// boundaries with shared mutable state; see the package contract.
+func For(w, n int, fn func(i int)) {
+	w = Workers(w)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MapReduce evaluates fn(i) for every i in [0, n) across at most w workers,
+// then folds the results serially in index order: acc = reduce(acc, out[i])
+// starting from zero. The parallel phase only writes per-index slots, so the
+// fold sees the same operand sequence regardless of w — the deterministic
+// reduction the engine's dt scans rely on.
+func MapReduce[T any](w, n int, zero T, fn func(i int) T, reduce func(acc, v T) T) T {
+	if n == 0 {
+		return zero
+	}
+	w = Workers(w)
+	if w <= 1 || n == 1 {
+		acc := zero
+		for i := 0; i < n; i++ {
+			acc = reduce(acc, fn(i))
+		}
+		return acc
+	}
+	out := make([]T, n)
+	For(w, n, func(i int) { out[i] = fn(i) })
+	acc := zero
+	for _, v := range out {
+		acc = reduce(acc, v)
+	}
+	return acc
+}

@@ -1,0 +1,73 @@
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Errorf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8, 33} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		For(w, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("w=%d: index %d visited %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndTiny(t *testing.T) {
+	For(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+	calls := 0
+	For(8, 1, func(i int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("n=1 ran fn %d times", calls)
+	}
+}
+
+func TestMapReduceDeterministicAcrossWorkers(t *testing.T) {
+	// Floating-point summation is order sensitive; MapReduce must fold in
+	// index order regardless of worker count, so every width agrees exactly.
+	const n = 513
+	fn := func(i int) float64 { return math.Sin(float64(i)) * 1e-3 }
+	add := func(a, v float64) float64 { return a + v }
+	want := MapReduce(1, n, 0.0, fn, add)
+	for _, w := range []int{2, 3, 8, 16} {
+		if got := MapReduce(w, n, 0.0, fn, add); got != want {
+			t.Errorf("w=%d: sum %.17g != serial %.17g", w, got, want)
+		}
+	}
+}
+
+func TestMapReduceMin(t *testing.T) {
+	vals := []float64{5, 3, 9, 3, 7}
+	got := MapReduce(4, len(vals), math.Inf(1),
+		func(i int) float64 { return vals[i] },
+		func(a, v float64) float64 { return math.Min(a, v) })
+	if got != 3 {
+		t.Errorf("min = %g, want 3", got)
+	}
+	if g := MapReduce(4, 0, math.Inf(1),
+		func(i int) float64 { return 0 },
+		func(a, v float64) float64 { return math.Min(a, v) }); !math.IsInf(g, 1) {
+		t.Errorf("empty reduce = %g, want +Inf", g)
+	}
+}

@@ -2,10 +2,27 @@ package solver
 
 import (
 	"math"
+	"sync"
 
 	"samrpart/internal/amr"
 	"samrpart/internal/geom"
 )
+
+// stagePool recycles the SSP-RK2 stage-1 scratch buffer across steps and
+// across worker goroutines, so the per-step hot path allocates nothing once
+// warm. Pooled (not per-kernel state) because one kernel instance steps many
+// patches concurrently under the engine's worker pool.
+var stagePool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getStage returns an n-element scratch slice from the pool.
+func getStage(n int) *[]float64 {
+	sp := stagePool.Get().(*[]float64)
+	if cap(*sp) < n {
+		*sp = make([]float64, n)
+	}
+	*sp = (*sp)[:n]
+	return sp
+}
 
 // MUSCLAdvection is second-order upwind scalar advection: piecewise-linear
 // reconstruction with the minmod slope limiter (monotone, TVD), dimension
@@ -136,9 +153,11 @@ func (a *MUSCLAdvection) rhs(p *amr.Patch, src []float64, g Grid, pt geom.Point)
 // u <- (u + u1 + dt L(u1)) / 2 on the interior.
 func (a *MUSCLAdvection) Step(next, cur *amr.Patch, g Grid, dt float64) {
 	src, dst := cur.Field(0), next.Field(0)
-	// Stage 1 into a scratch buffer covering the padded region; cells not
-	// recomputed keep the old value (only interior+2 is read by stage 2).
-	u1 := make([]float64, len(src))
+	// Stage 1 into a pooled scratch buffer covering the padded region; cells
+	// not recomputed keep the old value (only interior+2 is read by stage 2).
+	sp := getStage(len(src))
+	defer stagePool.Put(sp)
+	u1 := *sp
 	copy(u1, src)
 	stage1Region := cur.Box.Grow(2)
 	forEachIn(cur, stage1Region, func(pt geom.Point) {

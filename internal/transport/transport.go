@@ -25,7 +25,9 @@ type Endpoint interface {
 	// Size is the group size.
 	Size() int
 	// Send delivers payload to rank `to` under the given tag. It does not
-	// wait for the receiver.
+	// wait for the receiver. The payload buffer may be reused by the
+	// caller as soon as Send returns: both implementations either copy it
+	// (chan, TCP self-send) or have fully written it to the wire (TCP).
 	Send(to int, tag string, payload []byte) error
 	// Recv blocks until a message with the given source and tag arrives
 	// and returns its payload.

@@ -40,8 +40,21 @@ func main() {
 		workers  = flag.Int("workers", 0, "solver worker-pool width (0 = all cores, 1 = serial; any value is bit-exact)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		ckEvery  = flag.Int("checkpoint-every", 0, "write a periodic checkpoint every N iterations (0 = off)")
+		ckPath   = flag.String("checkpoint-path", "", "periodic checkpoint file (required with -checkpoint-every)")
+		faultStr = flag.String("fault-spec", "", "inject a node crash, e.g. crash:node=2,iter=10")
 	)
 	flag.Parse()
+
+	var fault *engine.FaultPlan
+	if *faultStr != "" {
+		var err error
+		fault, err = engine.ParseFaultSpec(*faultStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amrun:", err)
+			os.Exit(2)
+		}
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -144,15 +157,18 @@ func main() {
 		exp.PaperLoadScript(clus)
 	}
 	e, err := engine.New(engine.Config{
-		Name:        fmt.Sprintf("%s/%s", *kernel, p.Name()),
-		Hierarchy:   hier,
-		App:         app,
-		Partitioner: p,
-		Iterations:  *iters,
-		RegridEvery: *regrid,
-		SenseEvery:  *sense,
-		Forecaster:  *forecast,
-		Workers:     *workers,
+		Name:            fmt.Sprintf("%s/%s", *kernel, p.Name()),
+		Hierarchy:       hier,
+		App:             app,
+		Partitioner:     p,
+		Iterations:      *iters,
+		RegridEvery:     *regrid,
+		SenseEvery:      *sense,
+		Forecaster:      *forecast,
+		Workers:         *workers,
+		CheckpointEvery: *ckEvery,
+		CheckpointPath:  *ckPath,
+		Fault:           fault,
 	}, clus)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amrun:", err)

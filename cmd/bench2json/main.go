@@ -1,0 +1,99 @@
+// Command bench2json converts `go test -bench -benchmem` output into a JSON
+// array, for machine-readable benchmark artifacts in CI:
+//
+//	go test ./internal/engine -run ^$ -bench . -benchmem | bench2json > BENCH_ci.json
+//
+// Non-benchmark lines (PASS, ok, logs) are ignored. Each benchmark line
+// becomes one object with the iteration count and the per-op metrics that
+// were present on the line.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// parse extracts benchmark results from go test output.
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var res Result
+		var nsUnit, bUnit, allocUnit string
+		n, _ := fmt.Sscanf(sc.Text(), "%s %d %f %s %d %s %d %s",
+			&res.Name, &res.Iterations, &res.NsPerOp, &nsUnit,
+			&res.BytesPerOp, &bUnit, &res.AllocsPerOp, &allocUnit)
+		// A benchmark line has at least "Name N ns/op"; -benchmem appends
+		// "B/op" and "allocs/op".
+		if n < 4 || len(res.Name) < 10 || res.Name[:9] != "Benchmark" || nsUnit != "ns/op" {
+			continue
+		}
+		if n < 6 || bUnit != "B/op" {
+			res.BytesPerOp = 0
+		}
+		if n < 8 || allocUnit != "allocs/op" {
+			res.AllocsPerOp = 0
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines found")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(data); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}

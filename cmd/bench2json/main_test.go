@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: samrpart/internal/engine
+cpu: AMD EPYC 7J13 64-Core Processor
+BenchmarkSPMDExchange/ranks=4-8                1        52034812 ns/op         8123456 B/op      91234 allocs/op
+BenchmarkParallelIntegration/workers=8-8       2        20117650 ns/op          531968 B/op       1201 allocs/op
+BenchmarkNoMem-8                             100          104321 ns/op
+PASS
+ok      samrpart/internal/engine        3.412s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkSPMDExchange/ranks=4-8" || r.Iterations != 1 ||
+		r.NsPerOp != 52034812 || r.BytesPerOp != 8123456 || r.AllocsPerOp != 91234 {
+		t.Errorf("bad first result: %+v", r)
+	}
+	if results[1].Name != "BenchmarkParallelIntegration/workers=8-8" {
+		t.Errorf("bad second result: %+v", results[1])
+	}
+	nm := results[2]
+	if nm.Name != "BenchmarkNoMem-8" || nm.BytesPerOp != 0 || nm.AllocsPerOp != 0 {
+		t.Errorf("line without -benchmem mis-parsed: %+v", nm)
+	}
+}
+
+func TestParseFractionalNs(t *testing.T) {
+	results, err := parse(strings.NewReader(
+		"BenchmarkTiny-8   1000000000   0.3137 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].NsPerOp != 0.3137 {
+		t.Fatalf("fractional ns/op: %+v", results)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	results, err := parse(strings.NewReader("PASS\nok x 1s\n--- BENCH: foo\nBenchmark\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("noise parsed as results: %+v", results)
+	}
+}

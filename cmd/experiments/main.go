@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"samrpart/internal/engine"
 	"samrpart/internal/exp"
 )
 
@@ -33,13 +34,20 @@ func main() {
 		table2    = flag.Bool("table2", false, "Table II: dynamic vs static sensing")
 		table3    = flag.Bool("table3", false, "Table III / Figures 12-15: sensing frequency sweep")
 		ablations = flag.Bool("ablations", false, "design-choice ablations")
+		faultExp  = flag.Bool("fault", false, "fault study: node crash on the virtual cluster + SPMD rank recovery")
+		faultStr  = flag.String("fault-spec", "crash:rank=2,iter=10", "crash injected by -fault, e.g. crash:rank=2,iter=10")
 		workers   = flag.Int("workers", 0, "cap scheduler threads via GOMAXPROCS (0 = leave as-is); experiment configs drive solver kernels internally, so this bounds their pool width")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
-	if !(*all || *fig7 || *fig8 || *fig11 || *table2 || *table3 || *ablations || *scaling) {
+	if !(*all || *fig7 || *fig8 || *fig11 || *table2 || *table3 || *ablations || *scaling || *faultExp) {
 		flag.Usage()
+		os.Exit(2)
+	}
+	fault, err := engine.ParseFaultSpec(*faultStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
 	if *workers > 0 {
@@ -90,6 +98,7 @@ func main() {
 		{*all || *ablations, "Ablation: granularity", func() (renderable, error) { return exp.AblationGranularity() }},
 		{*all || *ablations, "Ablation: locality vs balance", func() (renderable, error) { return exp.AblationLocality() }},
 		{*all || *ablations, "Ablation: weights under memory pressure", func() (renderable, error) { return exp.AblationMemoryWeights() }},
+		{*all || *faultExp, "Fault recovery", func() (renderable, error) { return exp.FaultRecovery(16, fault.Rank, fault.Iter) }},
 		{*all || *scaling, "Strong scaling", func() (renderable, error) { return exp.Scalability() }},
 		{*all || *scaling, "Heterogeneity sweep", func() (renderable, error) { return exp.HeterogeneitySweep() }},
 		{*all || *scaling, "Mixed hardware", func() (renderable, error) { return exp.MixedHardware() }},

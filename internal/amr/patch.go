@@ -47,6 +47,16 @@ func NewPatch(box geom.Box, ghost, numFields int) *Patch {
 	return p
 }
 
+// Clone returns a deep copy of the patch (its own field storage). The
+// asynchronous checkpointer clones patches at the cut point so integration
+// can keep mutating the originals while the snapshot is serialized.
+func (p *Patch) Clone() *Patch {
+	cp := *p
+	cp.data = make([]float64, len(p.data))
+	copy(cp.data, p.data)
+	return &cp
+}
+
 // Padded returns the patch's storage region (interior grown by the halo).
 func (p *Patch) Padded() geom.Box { return p.padded }
 

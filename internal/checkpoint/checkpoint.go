@@ -109,6 +109,22 @@ func SaveFile(path string, st *State) error {
 	return os.Rename(tmp, path)
 }
 
+// WriteFileAtomic writes pre-encoded bytes to path via a temp file + rename,
+// so readers never observe a partially written checkpoint. Callers that need
+// a consistent cut of live state should Save into a buffer first and hand the
+// bytes here (possibly from another goroutine).
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
 // LoadFile reads a state from path.
 func LoadFile(path string) (*State, error) {
 	f, err := os.Open(path)

@@ -1,0 +1,145 @@
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/geom"
+)
+
+// shardMagic guards SPMD shard files the way magic guards full checkpoints.
+const shardMagic = "samrpart-spmd-shard-v1"
+
+// SPMDShard is one rank's contribution to a distributed checkpoint: the
+// patches that rank owned at the checkpoint iteration. Every rank writes its
+// shard into a shared directory; recovery reads all shards of an iteration
+// and reassembles the global patch set, so a surviving rank can restore the
+// tiles a dead rank owned.
+type SPMDShard struct {
+	// Iter is the iteration the snapshot was cut at (state *before*
+	// executing Iter; resuming re-executes from Iter).
+	Iter int
+	// Rank wrote this shard.
+	Rank int
+	// Size is the group size at write time (for sanity checks).
+	Size int
+	// Patches are the writer's owned tiles at the cut.
+	Patches map[geom.Box]*amr.Patch
+}
+
+// ShardPath names the shard file for (iter, rank) inside dir. Iterations
+// sort lexically so the latest complete snapshot is easy to locate.
+func ShardPath(dir string, iter, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("spmd-i%06d-r%03d.ckpt", iter, rank))
+}
+
+// SaveShard atomically writes one rank's shard into dir, creating the
+// directory if needed.
+func SaveShard(dir string, sh *SPMDShard) error {
+	if sh.Iter < 0 || sh.Rank < 0 || sh.Rank >= sh.Size {
+		return fmt.Errorf("checkpoint: invalid shard iter=%d rank=%d size=%d", sh.Iter, sh.Rank, sh.Size)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := ShardPath(dir, sh.Iter, sh.Rank)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(f)
+	err = enc.Encode(shardMagic)
+	if err == nil {
+		err = enc.Encode(sh)
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: write shard: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadShard reads a single shard file.
+func LoadShard(path string) (*SPMDShard, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var hdr string
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("checkpoint: read shard header: %w", err)
+	}
+	if hdr != shardMagic {
+		return nil, fmt.Errorf("checkpoint: bad shard header %q", hdr)
+	}
+	sh := &SPMDShard{}
+	if err := dec.Decode(sh); err != nil {
+		return nil, fmt.Errorf("checkpoint: read shard: %w", err)
+	}
+	return sh, nil
+}
+
+// LoadShards reads every shard of the given iteration from dir and merges
+// their patches into one global map. Duplicate boxes across shards are
+// tolerated (a recovered run may rewrite a snapshot a dead rank already
+// contributed to — the field values are identical by determinism); the
+// first-loaded patch wins.
+func LoadShards(dir string, iter int) (map[geom.Box]*amr.Patch, error) {
+	pattern := filepath.Join(dir, fmt.Sprintf("spmd-i%06d-r*.ckpt", iter))
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("checkpoint: no shards for iteration %d in %s", iter, dir)
+	}
+	merged := make(map[geom.Box]*amr.Patch)
+	for _, p := range paths {
+		sh, err := LoadShard(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if sh.Iter != iter {
+			return nil, fmt.Errorf("checkpoint: shard %s holds iteration %d", p, sh.Iter)
+		}
+		for b, patch := range sh.Patches {
+			if _, ok := merged[b]; !ok {
+				merged[b] = patch
+			}
+		}
+	}
+	return merged, nil
+}
+
+// LatestShardIter scans dir for the highest iteration that has at least one
+// shard. It returns -1 when the directory holds no shards (or does not
+// exist). Callers coordinating a restore should agree on the iteration via
+// the transport rather than trusting one rank's view of the filesystem.
+func LatestShardIter(dir string) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "spmd-i*-r*.ckpt"))
+	if err != nil || len(paths) == 0 {
+		return -1
+	}
+	best := -1
+	for _, p := range paths {
+		var iter, rank int
+		if _, err := fmt.Sscanf(filepath.Base(p), "spmd-i%06d-r%03d.ckpt", &iter, &rank); err != nil {
+			continue
+		}
+		if iter > best {
+			best = iter
+		}
+	}
+	return best
+}

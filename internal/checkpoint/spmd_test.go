@@ -1,0 +1,138 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/geom"
+)
+
+func testPatch(b geom.Box, seed float64) *amr.Patch {
+	p := amr.NewPatch(b, 1, 2)
+	i := 0.0
+	p.EachInterior(func(pt geom.Point) {
+		p.Set(0, pt, seed+i)
+		p.Set(1, pt, seed-i)
+		i++
+	})
+	return p
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b0 := geom.Box2(0, 0, 7, 7)
+	b1 := geom.Box2(8, 0, 15, 7)
+	sh := &SPMDShard{
+		Iter: 12,
+		Rank: 1,
+		Size: 4,
+		Patches: map[geom.Box]*amr.Patch{
+			b0: testPatch(b0, 1.5),
+			b1: testPatch(b1, -3.25),
+		},
+	}
+	if err := SaveShard(dir, sh); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadShard(ShardPath(dir, 12, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != 12 || got.Rank != 1 || got.Size != 4 || len(got.Patches) != 2 {
+		t.Fatalf("shard metadata = %+v", got)
+	}
+	want := sh.Patches[b0]
+	p := got.Patches[b0]
+	p.EachInterior(func(pt geom.Point) {
+		for f := 0; f < 2; f++ {
+			if p.At(f, pt) != want.At(f, pt) {
+				t.Fatalf("field %d mismatch at %v", f, pt)
+			}
+		}
+	})
+}
+
+func TestLoadShardsMerges(t *testing.T) {
+	dir := t.TempDir()
+	b0 := geom.Box2(0, 0, 7, 7)
+	b1 := geom.Box2(8, 0, 15, 7)
+	b2 := geom.Box2(0, 8, 7, 15)
+	for rank, boxes := range [][]geom.Box{{b0}, {b1, b2}} {
+		patches := make(map[geom.Box]*amr.Patch)
+		for _, b := range boxes {
+			patches[b] = testPatch(b, float64(rank))
+		}
+		if err := SaveShard(dir, &SPMDShard{Iter: 4, Rank: rank, Size: 3, Patches: patches}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := LoadShards(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 3 {
+		t.Fatalf("merged %d patches, want 3", len(merged))
+	}
+	for _, b := range []geom.Box{b0, b1, b2} {
+		if merged[b] == nil {
+			t.Errorf("missing patch for %v", b)
+		}
+	}
+	// Duplicate boxes across shards are tolerated (determinism makes the
+	// values identical); re-saving rank 0's tile under another rank must not
+	// break the load.
+	if err := SaveShard(dir, &SPMDShard{Iter: 4, Rank: 2, Size: 3,
+		Patches: map[geom.Box]*amr.Patch{b0: testPatch(b0, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if merged, err = LoadShards(dir, 4); err != nil || len(merged) != 3 {
+		t.Fatalf("merge with duplicate: %d patches, %v", len(merged), err)
+	}
+}
+
+func TestLoadShardsMissingIteration(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadShards(dir, 9); err == nil {
+		t.Error("load from empty dir succeeded")
+	}
+}
+
+func TestLatestShardIter(t *testing.T) {
+	dir := t.TempDir()
+	if got := LatestShardIter(dir); got != -1 {
+		t.Errorf("empty dir latest = %d", got)
+	}
+	if got := LatestShardIter(filepath.Join(dir, "missing")); got != -1 {
+		t.Errorf("missing dir latest = %d", got)
+	}
+	b := geom.Box2(0, 0, 3, 3)
+	for _, iter := range []int{0, 8, 4} {
+		sh := &SPMDShard{Iter: iter, Rank: 0, Size: 1,
+			Patches: map[geom.Box]*amr.Patch{b: testPatch(b, 0)}}
+		if err := SaveShard(dir, sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := LatestShardIter(dir); got != 8 {
+		t.Errorf("latest = %d, want 8", got)
+	}
+}
+
+func TestShardRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spmd-i000001-r000.ckpt")
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShard(path); err == nil {
+		t.Error("garbage shard accepted")
+	}
+	if err := SaveShard(dir, &SPMDShard{Iter: -1, Rank: 0, Size: 1}); err == nil {
+		t.Error("negative iteration accepted")
+	}
+	if err := SaveShard(dir, &SPMDShard{Iter: 0, Rank: 2, Size: 2}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}

@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
+	"sync"
 
 	"samrpart/internal/amr"
 	"samrpart/internal/capacity"
+	"samrpart/internal/checkpoint"
 	"samrpart/internal/cluster"
 	"samrpart/internal/monitor"
 	"samrpart/internal/partition"
@@ -41,6 +44,22 @@ type Config struct {
 	// out over all cores, 1 forces serial execution. Either way the
 	// solution is bit-identical.
 	Workers int
+	// CheckpointEvery writes a checkpoint to CheckpointPath every N
+	// iterations (0 disables). The state is captured synchronously at the
+	// iteration boundary; the file write happens in the background and is
+	// waited on before Run returns.
+	CheckpointEvery int
+	// CheckpointPath is the checkpoint file (overwritten atomically on each
+	// periodic checkpoint). Required when CheckpointEvery > 0.
+	CheckpointPath string
+	// Fault, when set, crashes the given virtual node at the start of the
+	// given iteration: the node is saturated with an unbounded external
+	// load. When sensing is enabled (SenseEvery > 0) the engine re-senses
+	// and repartitions immediately so the surviving capacity absorbs the
+	// work (the virtual-cluster analogue of the SPMD runtime's rank
+	// recovery); a static configuration never notices and keeps the dead
+	// node's share assigned to it.
+	Fault *FaultPlan
 }
 
 func (c Config) validate() error {
@@ -58,6 +77,15 @@ func (c Config) validate() error {
 	}
 	if c.SenseEvery < 0 {
 		return fmt.Errorf("engine: negative sense interval")
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("engine: negative checkpoint interval")
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointPath == "" {
+		return fmt.Errorf("engine: CheckpointEvery set without CheckpointPath")
+	}
+	if c.Fault != nil && (c.Fault.Rank < 0 || c.Fault.Iter < 0) {
+		return fmt.Errorf("engine: fault plan needs non-negative node and iteration")
 	}
 	return c.Hierarchy.Validate()
 }
@@ -108,6 +136,10 @@ func New(cfg Config, clus *cluster.Cluster) (*Engine, error) {
 	})
 	if wc, ok := cfg.App.(WorkerConfigurable); ok {
 		wc.SetWorkers(cfg.Workers)
+	}
+	if cfg.Fault != nil && cfg.Fault.Rank >= clus.NumNodes() {
+		return nil, fmt.Errorf("engine: fault plan targets node %d of %d",
+			cfg.Fault.Rank, clus.NumNodes())
 	}
 	return &Engine{
 		cfg:  cfg,
@@ -291,7 +323,34 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 	if err := e.regridAndPartition(0); err != nil {
 		return nil, err
 	}
+	var ckptWG sync.WaitGroup
+	var ckptMu sync.Mutex
+	var ckptErr error
+	defer ckptWG.Wait()
 	for iter := 0; iter < e.cfg.Iterations; iter++ {
+		if e.cfg.Fault != nil && iter == e.cfg.Fault.Iter {
+			// Crash the node: saturate its CPU and memory with external
+			// load from now on (bandwidth is static in the cluster model,
+			// so some residual capacity remains), then react immediately —
+			// re-sense so the capacity metric sees the dead node, and
+			// repartition so its work migrates to the survivors.
+			node := e.clus.Node(e.cfg.Fault.Rank)
+			node.AddLoad(cluster.Step{
+				Start: e.clus.Now(),
+				CPU:   faultCrashLoad,
+				MemMB: node.Spec.MemoryMB,
+			})
+			// Adaptive configurations react right away; static ones keep
+			// running blind (the paper's static-vs-adaptive contrast).
+			if e.cfg.SenseEvery > 0 {
+				if err := e.sense(); err != nil {
+					return nil, err
+				}
+				if err := e.repartition(iter); err != nil {
+					return nil, err
+				}
+			}
+		}
 		if e.cfg.SenseEvery > 0 && iter > 0 && iter%e.cfg.SenseEvery == 0 {
 			if err := e.sense(); err != nil {
 				return nil, err
@@ -305,6 +364,31 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 			if err := e.regridAndPartition(iter); err != nil {
 				return nil, err
 			}
+		}
+		if e.cfg.CheckpointEvery > 0 && iter > 0 && iter%e.cfg.CheckpointEvery == 0 {
+			// Serialize synchronously at the iteration boundary — the state
+			// references the live hierarchy and patch storage, which the
+			// next regrid/Advance mutate — then write the bytes in the
+			// background. Writes are serialized (and the latest state always
+			// wins) because each waits for the previous one.
+			st, err := e.Checkpoint(iter)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := checkpoint.Save(&buf, st); err != nil {
+				return nil, err
+			}
+			ckptWG.Wait()
+			ckptWG.Add(1)
+			go func(data []byte) {
+				defer ckptWG.Done()
+				if err := checkpoint.WriteFileAtomic(e.cfg.CheckpointPath, data); err != nil {
+					ckptMu.Lock()
+					ckptErr = err
+					ckptMu.Unlock()
+				}
+			}(buf.Bytes())
 		}
 		if err := e.cfg.App.Advance(e.hier, iter); err != nil {
 			return nil, err
@@ -320,6 +404,13 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 		for k, c := range perNode {
 			e.busySeconds[k] += c
 		}
+	}
+	ckptWG.Wait()
+	ckptMu.Lock()
+	err := ckptErr
+	ckptMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("engine: checkpoint write: %w", err)
 	}
 	if e.tr.ComputeTime > 0 {
 		for k := range e.tr.Utilization {

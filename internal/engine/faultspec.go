@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// faultCrashLoad is the external CPU load applied to a virtual node to
+// "crash" it: just below saturation so the capacity metric stays finite but
+// the node's share of new work collapses.
+const faultCrashLoad = 0.99
+
+// ParseFaultSpec parses the CLI fault-injection syntax shared by cmd/amrun
+// and cmd/experiments:
+//
+//	crash:rank=2,iter=10
+//	crash:node=1,iter=25
+//
+// "rank" and "node" are synonyms — the SPMD runner kills a transport rank,
+// the virtual-cluster engine crashes a simulated node.
+func ParseFaultSpec(s string) (*FaultPlan, error) {
+	kind, rest, ok := strings.Cut(s, ":")
+	if !ok || kind != "crash" {
+		return nil, fmt.Errorf("engine: fault spec %q: want crash:rank=N,iter=K", s)
+	}
+	plan := &FaultPlan{Rank: -1, Iter: -1}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("engine: fault spec %q: bad field %q", s, kv)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("engine: fault spec %q: field %q needs a non-negative integer", s, kv)
+		}
+		switch key {
+		case "rank", "node":
+			plan.Rank = n
+		case "iter":
+			plan.Iter = n
+		default:
+			return nil, fmt.Errorf("engine: fault spec %q: unknown field %q", s, key)
+		}
+	}
+	if plan.Rank < 0 || plan.Iter < 0 {
+		return nil, fmt.Errorf("engine: fault spec %q: both rank (or node) and iter are required", s)
+	}
+	return plan, nil
+}

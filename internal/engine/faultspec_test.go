@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"samrpart/internal/checkpoint"
+)
+
+func TestParseFaultSpec(t *testing.T) {
+	good := map[string]FaultPlan{
+		"crash:rank=2,iter=10": {Rank: 2, Iter: 10},
+		"crash:node=1,iter=25": {Rank: 1, Iter: 25},
+		"crash:iter=0,rank=0":  {Rank: 0, Iter: 0},
+	}
+	for spec, want := range good {
+		plan, err := ParseFaultSpec(spec)
+		if err != nil {
+			t.Errorf("%q: %v", spec, err)
+			continue
+		}
+		if *plan != want {
+			t.Errorf("%q = %+v, want %+v", spec, *plan, want)
+		}
+	}
+	bad := []string{
+		"", "crash", "crash:", "crash:rank=2", "crash:iter=3",
+		"hang:rank=1,iter=2", "crash:rank=-1,iter=2", "crash:rank=x,iter=2",
+		"crash:rank=1,iter=2,boom=3", "crash:rank=1;iter=2",
+	}
+	for _, spec := range bad {
+		if _, err := ParseFaultSpec(spec); err == nil {
+			t.Errorf("%q: accepted", spec)
+		}
+	}
+}
+
+// TestEngineNodeCrashRepartitions crashes a virtual node mid-run and checks
+// the engine immediately re-senses and moves essentially all work off it.
+func TestEngineNodeCrashRepartitions(t *testing.T) {
+	clus := newCluster(t, 4)
+	cfg := advectionConfig()
+	cfg.Iterations = 12
+	cfg.SenseEvery = 4
+	cfg.Fault = &FaultPlan{Rank: 2, Iter: 6}
+	e, err := New(cfg, clus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	asn := e.Assignment()
+	if asn == nil {
+		t.Fatal("no assignment after run")
+	}
+	total := asn.TotalWork()
+	if total == 0 {
+		t.Fatal("no work assigned")
+	}
+	// With CPU and memory saturated, only the (static) bandwidth term keeps
+	// the node's capacity above zero: its share must fall far below the fair
+	// quarter of a 4-node cluster.
+	if share := asn.Work[2] / total; share > 0.15 {
+		t.Errorf("crashed node still holds %.0f%% of the work", 100*share)
+	}
+	caps := e.Capacities()
+	if caps[2] >= caps[0] {
+		t.Errorf("crashed node capacity %g not degraded below %g", caps[2], caps[0])
+	}
+}
+
+// TestEngineFaultValidation rejects out-of-range fault targets and bad
+// checkpoint configs.
+func TestEngineFaultValidation(t *testing.T) {
+	cfg := advectionConfig()
+	cfg.Fault = &FaultPlan{Rank: 9, Iter: 1}
+	if _, err := New(cfg, newCluster(t, 2)); err == nil {
+		t.Error("fault on nonexistent node accepted")
+	}
+	cfg2 := advectionConfig()
+	cfg2.CheckpointEvery = 2 // no path
+	if _, err := New(cfg2, newCluster(t, 2)); err == nil {
+		t.Error("CheckpointEvery without CheckpointPath accepted")
+	}
+	cfg3 := advectionConfig()
+	cfg3.Fault = &FaultPlan{Rank: -1, Iter: 1}
+	if _, err := New(cfg3, newCluster(t, 2)); err == nil {
+		t.Error("negative fault rank accepted")
+	}
+}
+
+// TestEnginePeriodicCheckpointRestorable writes periodic checkpoints during a
+// run and restores a fresh engine from the latest one.
+func TestEnginePeriodicCheckpointRestorable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	clus := newCluster(t, 2)
+	cfg := advectionConfig()
+	cfg.Iterations = 10
+	cfg.CheckpointEvery = 3
+	cfg.CheckpointPath = path
+	e, err := New(cfg, clus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	st, err := checkpoint.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iter != 9 {
+		t.Errorf("latest checkpoint iter = %d, want 9", st.Iter)
+	}
+	if len(st.Patches) == 0 {
+		t.Error("periodic checkpoint carries no patches")
+	}
+	// A fresh engine must accept the state.
+	e2, err := New(advectionConfig(), newCluster(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Restore(st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+}

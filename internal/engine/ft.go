@@ -1,0 +1,586 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/checkpoint"
+	"samrpart/internal/geom"
+	"samrpart/internal/partition"
+	"samrpart/internal/transport"
+)
+
+// DefaultRecvDeadline bounds blocking receives when SPMDConfig.RecvDeadline
+// is unset. It is deliberately generous: it exists to turn a hung cluster
+// into a diagnosable ErrRankDown, not to race healthy ranks.
+const DefaultRecvDeadline = 30 * time.Second
+
+// FTConfig enables and tunes fault tolerance for RunSPMDRank.
+//
+// Failure model: a rank crashes at an iteration boundary — it goes silent
+// before sending its heartbeat for iteration k (transport.Faulty's Kill and
+// the engine's FaultPlan both inject exactly this). Every survivor's
+// heartbeat receive from the dead rank then times out in the same round, so
+// detection is deterministic and collective. Mid-iteration communication
+// failures (a peer dying with ghost messages half-exchanged) are NOT
+// recovered: they surface as an ErrRankDown error from the run, failing fast
+// rather than risking a torn state.
+type FTConfig struct {
+	// Enabled turns the fault-tolerant runner on. It requires the endpoint
+	// to implement transport.TimedEndpoint.
+	Enabled bool
+	// HeartbeatEvery runs failure detection every N iterations (default 1).
+	// Heartbeats are collective: they also act as the agreement step that
+	// keeps every survivor's dead-rank set identical.
+	HeartbeatEvery int
+	// CheckpointEvery writes a distributed checkpoint (one shard per rank in
+	// CheckpointDir) every N iterations. 0 disables checkpointing — recovery
+	// then restarts from initial conditions.
+	CheckpointEvery int
+	// CheckpointDir is the shared directory holding per-rank shards. Every
+	// rank must see the same filesystem (in-process groups trivially do; a
+	// real deployment uses a shared mount, as GrACE-era clusters did).
+	CheckpointDir string
+	// SyncCheckpoint blocks the step loop until the shard is durable instead
+	// of writing asynchronously. Deterministic tests use this so the set of
+	// restorable iterations is exact.
+	SyncCheckpoint bool
+	// ResumeFrom, when > 0, loads the iteration's shards from CheckpointDir
+	// at startup instead of calling Kernel.Init — a cold restart of a
+	// previously checkpointed run.
+	ResumeFrom int
+	// MaxRecoveries bounds how many rank failures a run will absorb before
+	// giving up (default 3; -1 = unlimited).
+	MaxRecoveries int
+}
+
+func (c FTConfig) validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.HeartbeatEvery < 0 || c.CheckpointEvery < 0 {
+		return fmt.Errorf("engine: negative FT interval")
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointDir == "" {
+		return fmt.Errorf("engine: CheckpointEvery set without CheckpointDir")
+	}
+	if c.ResumeFrom < 0 {
+		return fmt.Errorf("engine: negative ResumeFrom")
+	}
+	if c.ResumeFrom > 0 && c.CheckpointDir == "" {
+		return fmt.Errorf("engine: ResumeFrom set without CheckpointDir")
+	}
+	return nil
+}
+
+// FaultPlan injects a deterministic crash: rank Rank kills its endpoint at
+// the start of iteration Iter (before its heartbeat), exactly matching the
+// failure model FTConfig documents.
+type FaultPlan struct {
+	Rank int
+	Iter int
+}
+
+// hits reports whether the plan fires for (rank, iter).
+func (p *FaultPlan) hits(rank, iter int) bool {
+	return p != nil && p.Rank == rank && p.Iter == iter
+}
+
+// killEndpoint crashes the rank's endpoint through transport.Killer.
+func killEndpoint(ep transport.Endpoint) error {
+	k, ok := ep.(transport.Killer)
+	if !ok {
+		return fmt.Errorf("engine: fault plan requires a transport.Killer endpoint (wrap it in transport.Faulty)")
+	}
+	k.Kill()
+	return nil
+}
+
+// hbMsg is the heartbeat payload: the sender's latest durable checkpoint
+// iteration and its current view of the dead set.
+type hbMsg struct {
+	Ckpt int
+	Dead []int
+}
+
+// spmdRun is the mutable state of one fault-tolerant SPMD rank.
+type spmdRun struct {
+	cfg      SPMDConfig
+	ep       transport.TimedEndpoint
+	res      *SPMDResult
+	deadline time.Duration
+
+	alive    []bool
+	epoch    int // bumped per recovery; namespaces all tags
+	lastPart int // iteration of the last (re)partition
+
+	assign  *partition.Assignment
+	plan    *ghostPlan
+	patches map[geom.Box]*amr.Patch
+	spares  map[geom.Box]*amr.Patch
+
+	// stable is the restore point every participant agreed on at the last
+	// clean heartbeat: the minimum durable checkpoint advertised by ALL
+	// ranks alive in that round. Updating it only on clean rounds guarantees
+	// a rank that dies later has its shards on disk at `stable`.
+	stable int
+
+	ckptMu  sync.Mutex
+	ckptWG  sync.WaitGroup
+	durable int // latest shard known written (guarded by ckptMu)
+	ckptErr error
+}
+
+// runSPMDFT is the fault-tolerant SPMD loop: heartbeat detection, collective
+// agreement on the dead set, and checkpoint-based rollback recovery.
+func runSPMDFT(ep transport.Endpoint, cfg SPMDConfig, res *SPMDResult) (*SPMDResult, error) {
+	ted, ok := ep.(transport.TimedEndpoint)
+	if !ok {
+		return nil, fmt.Errorf("engine: fault tolerance requires a transport.TimedEndpoint")
+	}
+	r := &spmdRun{cfg: cfg, ep: ted, res: res, deadline: cfg.recvDeadline(),
+		alive: make([]bool, ep.Size())}
+	for i := range r.alive {
+		r.alive[i] = true
+	}
+	start := 0
+	if cfg.FT.ResumeFrom > 0 {
+		start = cfg.FT.ResumeFrom
+	}
+	r.stable, r.durable = start, start
+	if err := r.setup(start); err != nil {
+		return nil, err
+	}
+	hbEvery := cfg.FT.HeartbeatEvery
+	if hbEvery < 1 {
+		hbEvery = 1
+	}
+	maxRec := cfg.FT.MaxRecoveries
+	if maxRec == 0 {
+		maxRec = 3
+	}
+	for iter := start; iter < cfg.Iterations; {
+		if cfg.Fault.hits(r.me(), iter) {
+			if err := killEndpoint(ep); err != nil {
+				return nil, err
+			}
+			res.Crashed = true
+			r.ckptWG.Wait()
+			return res, nil
+		}
+		if iter%hbEvery == 0 {
+			newDead, err := r.heartbeat(iter)
+			if err != nil {
+				return nil, err
+			}
+			if len(newDead) > 0 {
+				if maxRec >= 0 && res.Recoveries >= maxRec {
+					return nil, fmt.Errorf("engine: rank %d: giving up after %d recoveries (lost %v)",
+						r.me(), res.Recoveries, newDead)
+				}
+				restore := r.stable
+				if err := r.recoverAt(restore); err != nil {
+					return nil, err
+				}
+				res.Recoveries++
+				res.RestoredFrom = restore
+				iter = restore
+				continue
+			}
+		}
+		if cfg.FT.CheckpointEvery > 0 && iter > 0 && iter%cfg.FT.CheckpointEvery == 0 {
+			if err := r.writeCheckpoint(iter); err != nil {
+				return nil, err
+			}
+		}
+		if err := r.step(iter); err != nil {
+			return nil, err
+		}
+		iter++
+	}
+	r.ckptWG.Wait()
+	r.ckptMu.Lock()
+	ckptErr := r.ckptErr
+	r.ckptMu.Unlock()
+	if ckptErr != nil {
+		return nil, fmt.Errorf("engine: async checkpoint failed: %w", ckptErr)
+	}
+	for rank, a := range r.alive {
+		if !a {
+			res.DeadRanks = append(res.DeadRanks, rank)
+		}
+	}
+	finalizeSPMD(res, r.patches)
+	return res, nil
+}
+
+func (r *spmdRun) me() int { return r.ep.Rank() }
+
+// prefix namespaces all tags of the current epoch, so messages from before a
+// rollback can never be mistaken for the replay's.
+func (r *spmdRun) prefix() string { return fmt.Sprintf("e%d-", r.epoch) }
+
+// setup (re)builds the run's distribution state for the given iteration:
+// partition over the currently-alive ranks, ghost plan, and patches — from
+// Kernel.Init at iteration 0, from checkpoint shards otherwise.
+func (r *spmdRun) setup(iter int) error {
+	k := r.cfg.Kernel
+	caps := r.cfg.CapsAt(iter)
+	asn, err := partition.PartitionAlive(r.cfg.Partitioner, r.cfg.tiles(), caps, r.alive, partition.CellWork)
+	if err != nil {
+		return err
+	}
+	r.assign = asn
+	r.plan = buildGhostPlan(asn, r.me(), k.Ghost(), r.prefix())
+	r.spares = map[geom.Box]*amr.Patch{}
+	r.lastPart = iter
+	if iter == 0 {
+		r.patches = map[geom.Box]*amr.Patch{}
+		for i, b := range asn.Boxes {
+			if asn.Owners[i] != r.me() {
+				continue
+			}
+			p := amr.NewPatch(b, k.Ghost(), k.NumFields())
+			k.Init(p, r.cfg.BaseGrid)
+			r.patches[b] = p
+		}
+		return nil
+	}
+	merged, err := checkpoint.LoadShards(r.cfg.FT.CheckpointDir, iter)
+	if err != nil {
+		return fmt.Errorf("engine: rank %d restore at %d: %w", r.me(), iter, err)
+	}
+	r.patches, err = assemblePatches(asn, r.me(), k.Ghost(), k.NumFields(), merged)
+	return err
+}
+
+// assemblePatches builds the rank's owned patches from a merged shard map.
+// Shard boxes may be split differently than the new assignment's (ownership
+// changed hands), so each new patch is stitched from every overlapping shard
+// region, with full interior coverage verified cell by cell. Overlapping
+// shard regions are safe: bit-exact determinism makes their values
+// identical wherever they intersect.
+func assemblePatches(asn *partition.Assignment, me, ghost, fields int, merged map[geom.Box]*amr.Patch) (map[geom.Box]*amr.Patch, error) {
+	patches := map[geom.Box]*amr.Patch{}
+	for i, nb := range asn.Boxes {
+		if asn.Owners[i] != me {
+			continue
+		}
+		p := amr.NewPatch(nb, ghost, fields)
+		covered := make([]bool, nb.Cells())
+		for ob, op := range merged {
+			region := nb.Intersect(ob)
+			if region.Empty() {
+				continue
+			}
+			if err := apply(p, region, extract(op, region)); err != nil {
+				return nil, err
+			}
+			forEachCell(region, func(pt geom.Point) {
+				covered[boxIndex(nb, pt)] = true
+			})
+		}
+		for _, c := range covered {
+			if !c {
+				return nil, fmt.Errorf("engine: checkpoint shards do not cover box %v", nb)
+			}
+		}
+		patches[nb] = p
+	}
+	return patches, nil
+}
+
+// boxIndex linearizes pt within b (x fastest), for coverage bitmaps.
+func boxIndex(b geom.Box, pt geom.Point) int {
+	idx, stride := 0, 1
+	for d := 0; d < b.Rank; d++ {
+		idx += (pt[d] - b.Lo[d]) * stride
+		stride *= b.Size(d)
+	}
+	return idx
+}
+
+// heartbeat runs the two-round failure detection + agreement protocol for an
+// iteration and returns the newly-dead ranks (empty on a clean round).
+//
+// Round 1: every alive rank all-gathers an hbMsg; a receive timing out marks
+// the sender suspect. Under the boundary-crash failure model a dead rank
+// sent nothing this iteration, so every survivor times out on it in this
+// round. Round 2: ranks exchange their round-1 suspect sets and union what
+// they receive, so all survivors leave with an identical dead set even if
+// their local observations differed. On a clean round the agreed restore
+// point advances to the minimum durable checkpoint advertised by all
+// participants — every rank, including one that dies later, has its shards
+// on disk at that iteration.
+func (r *spmdRun) heartbeat(iter int) ([]int, error) {
+	me := r.me()
+	suspects := map[int]bool{}
+	ckpts := []int{r.durableCkpt()}
+
+	send := func(round int, dead []int) error {
+		msg := hbMsg{Ckpt: r.durableCkpt(), Dead: dead}
+		payload, err := transport.EncodeGob(msg)
+		if err != nil {
+			return err
+		}
+		tag := fmt.Sprintf("%shb%d-%d", r.prefix(), round, iter)
+		for p := range r.alive {
+			if p == me || !r.alive[p] || suspects[p] {
+				continue
+			}
+			if err := r.ep.Send(p, tag, payload); err != nil {
+				return err
+			}
+			r.res.BytesSent += int64(len(payload))
+		}
+		return nil
+	}
+	recv := func(round int) error {
+		tag := fmt.Sprintf("%shb%d-%d", r.prefix(), round, iter)
+		for p := range r.alive {
+			if p == me || !r.alive[p] || suspects[p] {
+				continue
+			}
+			payload, err := r.ep.RecvTimeout(p, tag, r.deadline)
+			if errors.Is(err, transport.ErrRankDown) {
+				suspects[p] = true
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			var m hbMsg
+			if err := transport.DecodeGob(payload, &m); err != nil {
+				return err
+			}
+			if round == 1 {
+				ckpts = append(ckpts, m.Ckpt)
+			}
+			for _, d := range m.Dead {
+				if d >= 0 && d < len(r.alive) && r.alive[d] && d != me {
+					suspects[d] = true
+				}
+			}
+		}
+		return nil
+	}
+
+	if err := send(1, r.deadList()); err != nil {
+		return nil, err
+	}
+	if err := recv(1); err != nil {
+		return nil, err
+	}
+	round2Dead := r.deadList()
+	for p := range suspects {
+		round2Dead = append(round2Dead, p)
+	}
+	sort.Ints(round2Dead)
+	if err := send(2, round2Dead); err != nil {
+		return nil, err
+	}
+	if err := recv(2); err != nil {
+		return nil, err
+	}
+
+	if len(suspects) == 0 {
+		stable := ckpts[0]
+		for _, c := range ckpts[1:] {
+			if c < stable {
+				stable = c
+			}
+		}
+		r.stable = stable
+		return nil, nil
+	}
+	newDead := make([]int, 0, len(suspects))
+	for p := range suspects {
+		r.alive[p] = false
+		newDead = append(newDead, p)
+	}
+	sort.Ints(newDead)
+	return newDead, nil
+}
+
+// deadList returns the currently-dead ranks, sorted.
+func (r *spmdRun) deadList() []int {
+	var dead []int
+	for p, a := range r.alive {
+		if !a {
+			dead = append(dead, p)
+		}
+	}
+	return dead
+}
+
+// recoverAt rolls the rank back to the agreed restore iteration: bump the
+// epoch (namespacing all future tags away from pre-crash traffic),
+// re-partition the tiles over the survivors, and restore patches from the
+// checkpoint shards (or re-initialize when restore == 0).
+func (r *spmdRun) recoverAt(restore int) error {
+	// Let any in-flight shard write settle before re-reading the directory.
+	r.ckptWG.Wait()
+	r.ckptMu.Lock()
+	err := r.ckptErr
+	r.ckptMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("engine: async checkpoint failed before recovery: %w", err)
+	}
+	r.epoch++
+	return r.setup(restore)
+}
+
+// writeCheckpoint snapshots the rank's owned patches as a shard for iter.
+// Patches are cloned synchronously (the cut point), then serialized and
+// written asynchronously unless SyncCheckpoint is set. Writes are serialized
+// per rank so durability is monotonic in iteration order.
+func (r *spmdRun) writeCheckpoint(iter int) error {
+	r.ckptWG.Wait() // serialize with the previous async write
+	r.ckptMu.Lock()
+	err := r.ckptErr
+	r.ckptMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("engine: async checkpoint failed: %w", err)
+	}
+	clones := make(map[geom.Box]*amr.Patch, len(r.patches))
+	for b, p := range r.patches {
+		clones[b] = p.Clone()
+	}
+	sh := &checkpoint.SPMDShard{Iter: iter, Rank: r.me(), Size: r.ep.Size(), Patches: clones}
+	dir := r.cfg.FT.CheckpointDir
+	r.res.Checkpoints++
+	if r.cfg.FT.SyncCheckpoint {
+		if err := checkpoint.SaveShard(dir, sh); err != nil {
+			return err
+		}
+		r.setDurable(iter)
+		return nil
+	}
+	r.ckptWG.Add(1)
+	go func() {
+		defer r.ckptWG.Done()
+		if err := checkpoint.SaveShard(dir, sh); err != nil {
+			r.ckptMu.Lock()
+			r.ckptErr = err
+			r.ckptMu.Unlock()
+			return
+		}
+		r.setDurable(iter)
+	}()
+	return nil
+}
+
+func (r *spmdRun) setDurable(iter int) {
+	r.ckptMu.Lock()
+	if iter > r.durable {
+		r.durable = iter
+	}
+	r.ckptMu.Unlock()
+}
+
+func (r *spmdRun) durableCkpt() int {
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+	return r.durable
+}
+
+// step executes one iteration: scheduled repartition, ghost exchange with
+// compute/communication overlap, global dt agreement, and patch advances.
+// It is the FT twin of the plain loop body, with alive-aware collectives and
+// epoch-namespaced tags.
+func (r *spmdRun) step(iter int) error {
+	cfg, k := r.cfg, r.cfg.Kernel
+	if cfg.RepartEvery > 0 && iter > 0 && iter%cfg.RepartEvery == 0 && iter != r.lastPart {
+		caps := cfg.CapsAt(iter)
+		newAssign, err := partition.PartitionAlive(cfg.Partitioner, cfg.tiles(), caps, r.alive, partition.CellWork)
+		if err != nil {
+			return err
+		}
+		r.patches, err = redistribute(r.ep, r.assign, newAssign, r.patches, k, iter, r.res, r.prefix())
+		if err != nil {
+			return err
+		}
+		r.assign = newAssign
+		r.plan = buildGhostPlan(newAssign, r.me(), k.Ghost(), r.prefix())
+		clear(r.spares)
+		r.lastPart = iter
+		r.res.Repartitions++
+	}
+	if err := r.plan.postSends(r.ep, r.patches, r.res); err != nil {
+		return err
+	}
+	dt := cfg.DT
+	if dt == 0 {
+		local := math.Inf(1)
+		for _, p := range r.patches {
+			if d := k.MaxDT(p, cfg.BaseGrid); d < local {
+				local = d
+			}
+		}
+		var err error
+		dt, err = r.allReduceMin(iter, local)
+		if err != nil {
+			return err
+		}
+		if math.IsInf(dt, 1) {
+			dt = 0
+		}
+	}
+	for _, b := range r.plan.interior {
+		stepPatch(k, cfg.BaseGrid, r.patches, r.spares, b, dt)
+		r.res.InteriorSteps++
+	}
+	if err := r.plan.finishRecvs(r.ep, r.patches); err != nil {
+		return err
+	}
+	for _, b := range r.plan.boundary {
+		stepPatch(k, cfg.BaseGrid, r.patches, r.spares, b, dt)
+		r.res.BoundarySteps++
+	}
+	return nil
+}
+
+// allReduceMin agrees on the global minimum of a float64 across the alive
+// ranks, with epoch-namespaced tags and deadline-bounded receives. Float min
+// is order-independent, so the result is bit-identical on every rank
+// regardless of arrival order.
+func (r *spmdRun) allReduceMin(iter int, local float64) (float64, error) {
+	me := r.me()
+	tag := fmt.Sprintf("%sdt-%d", r.prefix(), iter)
+	payload := transport.EncodeFloats([]float64{local})
+	for p := range r.alive {
+		if p == me || !r.alive[p] {
+			continue
+		}
+		if err := r.ep.Send(p, tag, payload); err != nil {
+			return 0, err
+		}
+		r.res.BytesSent += int64(len(payload))
+	}
+	minVal := local
+	for p := range r.alive {
+		if p == me || !r.alive[p] {
+			continue
+		}
+		got, err := r.ep.RecvTimeout(p, tag, r.deadline)
+		if err != nil {
+			return 0, err
+		}
+		vals, err := transport.DecodeFloats(got, nil)
+		if err != nil {
+			return 0, err
+		}
+		if len(vals) != 1 {
+			return 0, fmt.Errorf("engine: dt reduce got %d values", len(vals))
+		}
+		if vals[0] < minVal {
+			minVal = vals[0]
+		}
+	}
+	return minVal, nil
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"samrpart/internal/amr"
 	"samrpart/internal/geom"
@@ -39,6 +40,16 @@ type SPMDConfig struct {
 	RepartEvery int
 	// DT fixes the time step; 0 derives a global stable dt each step.
 	DT float64
+	// RecvDeadline bounds every blocking receive in the step loop (including
+	// those inside collectives) so a silently-dead peer surfaces as
+	// transport.ErrRankDown instead of a hang. 0 selects DefaultRecvDeadline.
+	RecvDeadline time.Duration
+	// FT enables heartbeat failure detection and checkpoint-based recovery.
+	FT FTConfig
+	// Fault, when non-nil, injects a deterministic rank crash: the matching
+	// rank kills its endpoint at the start of the given iteration. The
+	// endpoint must implement transport.Killer (wrap it in transport.Faulty).
+	Fault *FaultPlan
 }
 
 // SPMDResult reports one rank's outcome.
@@ -56,6 +67,20 @@ type SPMDResult struct {
 	// steps that had to wait for remote regions first.
 	InteriorSteps int64
 	BoundarySteps int64
+	// Crashed reports this rank executed an injected FaultPlan crash and
+	// returned early (its other counters stop at the crash point).
+	Crashed bool
+	// Recoveries counts completed rank-failure recoveries; RestoredFrom is
+	// the iteration the latest recovery rolled back to (0 = re-initialized).
+	Recoveries   int
+	RestoredFrom int
+	// DeadRanks lists the ranks this rank agreed were lost.
+	DeadRanks []int
+	// Checkpoints counts distributed checkpoint shards this rank wrote.
+	Checkpoints int
+	// Patches are the rank's owned patches at exit, keyed by interior box,
+	// so callers can reassemble and compare the global solution exactly.
+	Patches map[geom.Box]*amr.Patch
 }
 
 func (c SPMDConfig) validate() error {
@@ -71,7 +96,21 @@ func (c SPMDConfig) validate() error {
 	if c.Iterations < 1 {
 		return fmt.Errorf("engine: spmd iterations %d", c.Iterations)
 	}
+	if c.RecvDeadline < 0 {
+		return fmt.Errorf("engine: negative recv deadline")
+	}
+	if err := c.FT.validate(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// recvDeadline resolves the configured receive bound.
+func (c SPMDConfig) recvDeadline() time.Duration {
+	if c.RecvDeadline > 0 {
+		return c.RecvDeadline
+	}
+	return DefaultRecvDeadline
 }
 
 // tiles decomposes the domain into fixed tiles.
@@ -122,7 +161,16 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	res := &SPMDResult{Rank: ep.Rank()}
+	res := &SPMDResult{Rank: ep.Rank(), RestoredFrom: -1}
+	// Bound every blocking receive in the loop — including those issued
+	// inside the transport's collectives — so a silently-dead peer yields
+	// transport.ErrRankDown within the deadline instead of hanging the rank.
+	if ted, ok := ep.(transport.TimedEndpoint); ok {
+		ted.SetDeadline(cfg.recvDeadline())
+	}
+	if cfg.FT.Enabled {
+		return runSPMDFT(ep, cfg, res)
+	}
 	k := cfg.Kernel
 	// --- Initial partition (computed identically on every rank; tiles and
 	// capacities are deterministic, so no broadcast is strictly needed,
@@ -141,24 +189,32 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 		k.Init(p, cfg.BaseGrid)
 		patches[b] = p
 	}
-	plan := buildGhostPlan(assign, ep.Rank(), k.Ghost())
+	plan := buildGhostPlan(assign, ep.Rank(), k.Ghost(), "")
 	// spares double-buffer the per-box patches: each step writes into the
 	// box's spare and retires the current patch, so the steady-state loop
 	// allocates no patch storage.
 	spares := map[geom.Box]*amr.Patch{}
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		// Injected crash: this rank goes silent at the iteration boundary.
+		if cfg.Fault.hits(ep.Rank(), iter) {
+			if err := killEndpoint(ep); err != nil {
+				return nil, err
+			}
+			res.Crashed = true
+			return res, nil
+		}
 		// Repartition on schedule.
 		if cfg.RepartEvery > 0 && iter > 0 && iter%cfg.RepartEvery == 0 {
 			newAssign, err := cfg.partitionAt(ep, iter, res)
 			if err != nil {
 				return nil, err
 			}
-			patches, err = redistribute(ep, assign, newAssign, patches, k, iter, res)
+			patches, err = redistribute(ep, assign, newAssign, patches, k, iter, res, "")
 			if err != nil {
 				return nil, err
 			}
 			assign = newAssign
-			plan = buildGhostPlan(assign, ep.Rank(), k.Ghost())
+			plan = buildGhostPlan(assign, ep.Rank(), k.Ghost(), "")
 			clear(spares) // ownership changed; retired buffers are stale
 			res.Repartitions++
 		}
@@ -202,14 +258,19 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 			res.BoundarySteps++
 		}
 	}
-	// Result.
+	finalizeSPMD(res, patches)
+	return res, nil
+}
+
+// finalizeSPMD fills the result's owned boxes, L1 check sum, and patch map.
+func finalizeSPMD(res *SPMDResult, patches map[geom.Box]*amr.Patch) {
 	for b, p := range patches {
 		res.OwnedBoxes = append(res.OwnedBoxes, b)
 		sum := 0.0
 		p.EachInterior(func(pt geom.Point) { sum += math.Abs(p.At(0, pt)) })
 		res.L1Sum += sum
 	}
-	return res, nil
+	res.Patches = patches
 }
 
 // stepPatch advances one owned patch by dt into its spare double buffer and
@@ -339,8 +400,10 @@ type ghostPlan struct {
 	byteBuf  []byte
 }
 
-// buildGhostPlan derives rank me's exchange plan from an assignment.
-func buildGhostPlan(a *partition.Assignment, me, ghost int) *ghostPlan {
+// buildGhostPlan derives rank me's exchange plan from an assignment. prefix
+// namespaces the tags: fault-tolerant runs pass an epoch prefix so messages
+// from a rolled-back execution cannot collide with the replay.
+func buildGhostPlan(a *partition.Assignment, me, ghost int, prefix string) *ghostPlan {
 	pl := &ghostPlan{}
 	needsRemote := map[geom.Box]bool{}
 	for i, bi := range a.Boxes {
@@ -355,7 +418,7 @@ func buildGhostPlan(a *partition.Assignment, me, ghost int) *ghostPlan {
 				continue
 			}
 			oj := a.Owners[j]
-			tag := fmt.Sprintf("g%d-%d", i, j)
+			tag := fmt.Sprintf("%sg%d-%d", prefix, i, j)
 			switch {
 			case oi == oj:
 				if oi == me {
@@ -431,7 +494,7 @@ func (pl *ghostPlan) finishRecvs(ep transport.Endpoint, patches map[geom.Box]*am
 // redistribute moves patch interiors to their new owners after a
 // repartition. New-assignment boxes may be split differently than the old
 // ones, so transfers are per overlapping (old, new) pair.
-func redistribute(ep transport.Endpoint, old, new_ *partition.Assignment, patches map[geom.Box]*amr.Patch, k solver.Kernel, iter int, res *SPMDResult) (map[geom.Box]*amr.Patch, error) {
+func redistribute(ep transport.Endpoint, old, new_ *partition.Assignment, patches map[geom.Box]*amr.Patch, k solver.Kernel, iter int, res *SPMDResult, prefix string) (map[geom.Box]*amr.Patch, error) {
 	me := ep.Rank()
 	next := map[geom.Box]*amr.Patch{}
 	// Allocate new owned patches.
@@ -464,7 +527,7 @@ func redistribute(ep transport.Endpoint, old, new_ *partition.Assignment, patche
 				}
 				continue
 			}
-			tag := fmt.Sprintf("r%d-%d-%d", iter, i, j)
+			tag := fmt.Sprintf("%sr%d-%d-%d", prefix, iter, i, j)
 			switch me {
 			case oo:
 				payload := transport.EncodeFloats(extract(patches[ob], region))

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFaultRecoveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault experiment in -short mode")
+	}
+	res, err := FaultRecovery(16, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cluster) != 3 {
+		t.Fatalf("cluster rows = %d, want 3", len(res.Cluster))
+	}
+	static, adaptive := res.Cluster[1], res.Cluster[2]
+	if adaptive.ExecSec >= static.ExecSec {
+		t.Errorf("adaptive (%.1fs) not faster than static (%.1fs) after the crash",
+			adaptive.ExecSec, static.ExecSec)
+	}
+	if !res.BitExact {
+		t.Error("recovered SPMD solution diverged from the fault-free run")
+	}
+	crashed := 0
+	for _, r := range res.Ranks {
+		if r.Crashed {
+			crashed++
+		} else if r.Recoveries != 1 {
+			t.Errorf("rank %d recoveries = %d, want 1", r.Rank, r.Recoveries)
+		}
+	}
+	if crashed != 1 {
+		t.Errorf("%d crashed ranks, want 1", crashed)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,70 @@
+package partition
+
+import (
+	"fmt"
+
+	"samrpart/internal/geom"
+)
+
+// PartitionAlive partitions boxes over the surviving subset of a cluster:
+// alive[k] marks node k as usable, dead nodes receive no boxes and zero
+// work. Capacities of dead nodes are masked out and the remainder is
+// renormalized to sum to 1, so the underlying partitioner sees a smaller,
+// well-formed cluster; owners in the result are then mapped back to global
+// node ids and Work/Ideal are re-expanded with zeros at dead positions. With
+// every node alive the call is exactly p.Partition.
+//
+// This is the repartitioning step of rank-failure recovery: the box list is
+// global state every survivor holds, so each rank can compute the new
+// assignment locally and deterministically — no coordinator required.
+func PartitionAlive(p Partitioner, boxes geom.BoxList, caps []float64, alive []bool, work WorkFunc) (*Assignment, error) {
+	if len(alive) != len(caps) {
+		return nil, fmt.Errorf("partition: alive mask has %d entries for %d nodes", len(alive), len(caps))
+	}
+	nAlive := 0
+	for _, a := range alive {
+		if a {
+			nAlive++
+		}
+	}
+	if nAlive == len(caps) {
+		return p.Partition(boxes, caps, work)
+	}
+	if nAlive == 0 {
+		return nil, fmt.Errorf("partition: no nodes alive")
+	}
+	// Compact capacities over survivors and renormalize.
+	compact := make([]float64, 0, nAlive)
+	global := make([]int, 0, nAlive) // compact index -> global node id
+	total := 0.0
+	for k, a := range alive {
+		if !a {
+			continue
+		}
+		compact = append(compact, caps[k])
+		global = append(global, k)
+		total += caps[k]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("partition: surviving nodes have zero capacity")
+	}
+	for i := range compact {
+		compact[i] /= total
+	}
+	asn, err := p.Partition(boxes, compact, work)
+	if err != nil {
+		return nil, err
+	}
+	// Map owners and per-node vectors back to global node ids.
+	owners := make([]int, len(asn.Owners))
+	for i, o := range asn.Owners {
+		owners[i] = global[o]
+	}
+	workOut := make([]float64, len(caps))
+	ideal := make([]float64, len(caps))
+	for i, g := range global {
+		workOut[g] = asn.Work[i]
+		ideal[g] = asn.Ideal[i]
+	}
+	return &Assignment{Boxes: asn.Boxes, Owners: owners, Work: workOut, Ideal: ideal}, nil
+}

@@ -1,0 +1,131 @@
+package partition
+
+import (
+	"testing"
+
+	"samrpart/internal/geom"
+)
+
+func aliveBoxes() geom.BoxList {
+	return geom.BoxList{
+		geom.Box2(0, 0, 15, 15),
+		geom.Box2(16, 0, 31, 15),
+		geom.Box2(0, 16, 15, 31),
+		geom.Box2(16, 16, 31, 31),
+	}
+}
+
+func TestPartitionAliveAllAlive(t *testing.T) {
+	boxes := aliveBoxes()
+	caps := []float64{0.4, 0.3, 0.2, 0.1}
+	p := NewHetero()
+	alive := []bool{true, true, true, true}
+	got, err := PartitionAlive(p, boxes, caps, alive, CellWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Partition(boxes, caps, CellWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Boxes) != len(want.Boxes) {
+		t.Fatalf("box count %d != %d", len(got.Boxes), len(want.Boxes))
+	}
+	for i := range got.Boxes {
+		if got.Boxes[i] != want.Boxes[i] || got.Owners[i] != want.Owners[i] {
+			t.Errorf("entry %d: (%v,%d) != (%v,%d)",
+				i, got.Boxes[i], got.Owners[i], want.Boxes[i], want.Owners[i])
+		}
+	}
+}
+
+func TestPartitionAliveExcludesDead(t *testing.T) {
+	boxes := aliveBoxes()
+	caps := []float64{0.25, 0.25, 0.25, 0.25}
+	alive := []bool{true, false, true, false}
+	p := NewHetero()
+	asn, err := PartitionAlive(p, boxes, caps, alive, CellWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asn.Validate(boxes, CellWork); err != nil {
+		t.Fatal(err)
+	}
+	if len(asn.Work) != 4 || len(asn.Ideal) != 4 {
+		t.Fatalf("per-node vectors resized: %d/%d", len(asn.Work), len(asn.Ideal))
+	}
+	for _, o := range asn.Owners {
+		if !alive[o] {
+			t.Errorf("box assigned to dead node %d", o)
+		}
+	}
+	for k, a := range alive {
+		if !a && (asn.Work[k] != 0 || asn.Ideal[k] != 0) {
+			t.Errorf("dead node %d has Work=%g Ideal=%g", k, asn.Work[k], asn.Ideal[k])
+		}
+	}
+	if asn.TotalWork() == 0 {
+		t.Error("no work assigned")
+	}
+}
+
+func TestPartitionAliveRenormalizesCaps(t *testing.T) {
+	boxes := aliveBoxes()
+	// Node 0 holds most of the capacity but is dead; survivors 1 and 2 split
+	// 0.2/0.1 → 2:1 after renormalization.
+	caps := []float64{0.7, 0.2, 0.1, 0.0}
+	alive := []bool{false, true, true, false}
+	p := NewHetero()
+	asn, err := PartitionAlive(p, boxes, caps, alive, CellWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := asn.TotalWork()
+	if asn.Ideal[1] <= asn.Ideal[2] {
+		t.Errorf("ideal shares not capacity-ordered: %v", asn.Ideal)
+	}
+	wantShare1 := total * (0.2 / 0.3)
+	if diff := asn.Ideal[1] - wantShare1; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("Ideal[1] = %g, want %g", asn.Ideal[1], wantShare1)
+	}
+}
+
+func TestPartitionAliveDeterministic(t *testing.T) {
+	boxes := aliveBoxes()
+	caps := []float64{0.25, 0.25, 0.25, 0.25}
+	alive := []bool{true, true, false, true}
+	p := NewHetero()
+	first, err := PartitionAlive(p, boxes, caps, alive, CellWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		again, err := PartitionAlive(p, boxes, caps, alive, CellWork)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Boxes) != len(first.Boxes) {
+			t.Fatalf("trial %d: box count changed", trial)
+		}
+		for i := range again.Boxes {
+			if again.Boxes[i] != first.Boxes[i] || again.Owners[i] != first.Owners[i] {
+				t.Fatalf("trial %d: assignment not deterministic at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestPartitionAliveErrors(t *testing.T) {
+	boxes := aliveBoxes()
+	caps := []float64{0.5, 0.5}
+	p := NewHetero()
+	if _, err := PartitionAlive(p, boxes, caps, []bool{true}, CellWork); err == nil {
+		t.Error("mismatched alive mask accepted")
+	}
+	if _, err := PartitionAlive(p, boxes, caps, []bool{false, false}, CellWork); err == nil {
+		t.Error("all-dead cluster accepted")
+	}
+	if _, err := PartitionAlive(p, boxes, []float64{1.0, 0.0}, []bool{false, true}, CellWork); err == nil {
+		t.Error("zero-capacity survivor set accepted")
+	}
+}

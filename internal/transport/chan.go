@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // chanEndpoint is the in-process transport: ranks share a slice of inboxes
@@ -14,6 +15,7 @@ type chanEndpoint struct {
 	coll    collectives
 	mu      sync.Mutex
 	closed  bool
+	dl      time.Duration // default Recv deadline (0 = none)
 }
 
 // NewGroup creates an in-process communicator of n ranks.
@@ -56,12 +58,28 @@ func (e *chanEndpoint) Send(to int, tag string, payload []byte) error {
 	return nil
 }
 
-// Recv implements Endpoint.
+// Recv implements Endpoint. It honors the default deadline set with
+// SetDeadline.
 func (e *chanEndpoint) Recv(from int, tag string) ([]byte, error) {
+	e.mu.Lock()
+	d := e.dl
+	e.mu.Unlock()
+	return e.RecvTimeout(from, tag, d)
+}
+
+// RecvTimeout implements TimedEndpoint.
+func (e *chanEndpoint) RecvTimeout(from int, tag string, d time.Duration) ([]byte, error) {
 	if from < 0 || from >= len(e.inboxes) {
 		return nil, fmt.Errorf("transport: recv from invalid rank %d", from)
 	}
-	return e.inboxes[e.rank].get(from, tag)
+	return e.inboxes[e.rank].get(from, tag, d, nil)
+}
+
+// SetDeadline implements TimedEndpoint.
+func (e *chanEndpoint) SetDeadline(d time.Duration) {
+	e.mu.Lock()
+	e.dl = d
+	e.mu.Unlock()
 }
 
 // Barrier implements Endpoint.

@@ -4,9 +4,22 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"time"
+)
+
+// Reconnect and handshake tuning. Vars (not consts) so tests can compress
+// the schedule; production code never mutates them.
+var (
+	// reconnectAttempts bounds redials of a broken connection; backoff
+	// doubles from reconnectBackoff each attempt (5, 10, 20, 40, 80 ms).
+	reconnectAttempts = 5
+	reconnectBackoff  = 5 * time.Millisecond
+	// dialTimeout bounds each individual dial and the rank handshake.
+	dialTimeout = 2 * time.Second
+	// meshSetupTimeout bounds how long NewTCPGroup waits for the full mesh.
+	meshSetupTimeout = 10 * time.Second
 )
 
 // frame is the wire format of one TCP message.
@@ -19,24 +32,41 @@ type frame struct {
 // tcpEndpoint is a rank of a TCP communicator: a full mesh of connections
 // on the loopback (or any) interface, length-prefixed gob frames, one
 // reader goroutine per peer demultiplexing into the tag-matched inbox.
+//
+// Failure semantics: when a peer's connection breaks, its reader marks the
+// peer down and wakes blocked receivers, which drain any queued messages and
+// then fail with *RankDownError instead of hanging. Send to a broken peer
+// attempts a bounded redial with exponential backoff (the side that
+// originally dialed redials; the accepting side waits for the redial), and
+// reports *RankDownError once the attempts are exhausted. The listener stays
+// open for the endpoint's lifetime so a reconnecting peer can always get
+// back in.
 type tcpEndpoint struct {
-	rank  int
-	size  int
-	conns []net.Conn // conns[r] connects to rank r (nil for self)
-	encs  []*gob.Encoder
-	wmu   []sync.Mutex
-	inbox *inbox
-	coll  collectives
+	rank     int
+	size     int
+	addrs    []string // listener address of every rank
+	listener net.Listener
+	inbox    *inbox
+	coll     collectives
+	wmu      []sync.Mutex // serializes writers per peer
 
-	mu     sync.Mutex
+	mu    sync.Mutex // guards the fields below
+	conns []net.Conn
+	encs  []*gob.Encoder
+	gen   []int  // bumped per install; stale readers detect replacement
+	down  []bool // peer's conn is gone and was not replaced
+	nconn int
+	dl    time.Duration // default recv deadline / per-send write bound
+	// closed endpoints reject sends and stop the accept loop.
 	closed bool
-	wg     sync.WaitGroup
+
+	wg sync.WaitGroup // readers + accept loop
 }
 
 // NewTCPGroup builds an n-rank communicator over TCP on the given host
 // (e.g. "127.0.0.1"). All ranks live in this process — the helper binds n
-// listeners on ephemeral ports and dials the full mesh. For cross-process
-// deployment use Listen/Dial with explicit addresses.
+// listeners on ephemeral ports and dials the full mesh; each listener then
+// stays open to serve reconnections.
 func NewTCPGroup(n int, host string) ([]Endpoint, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: group size %d < 1", n)
@@ -57,101 +87,171 @@ func NewTCPGroup(n int, host string) ([]Endpoint, error) {
 	eps := make([]*tcpEndpoint, n)
 	for i := 0; i < n; i++ {
 		eps[i] = &tcpEndpoint{
-			rank:  i,
-			size:  n,
-			conns: make([]net.Conn, n),
-			wmu:   make([]sync.Mutex, n),
-			inbox: newInbox(),
+			rank:     i,
+			size:     n,
+			addrs:    addrs,
+			listener: listeners[i],
+			inbox:    newInbox(),
+			wmu:      make([]sync.Mutex, n),
+			conns:    make([]net.Conn, n),
+			encs:     make([]*gob.Encoder, n),
+			gen:      make([]int, n),
+			down:     make([]bool, n),
 		}
+		eps[i].wg.Add(1)
+		go eps[i].acceptLoop()
 	}
-	// Mesh: rank i dials every rank j > i; the lower rank accepts. The
-	// dialer sends its rank first so the acceptor can place the conn.
-	var wg sync.WaitGroup
-	errCh := make(chan error, 2*n)
-	for i := 0; i < n; i++ {
-		i := i
-		expect := i // ranks j > i will dial listener i... accept n-1-i conns
-		_ = expect
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := 0; c < n-1-i; c++ {
-				conn, err := listeners[i].Accept()
-				if err != nil {
-					errCh <- err
-					return
-				}
-				var peer int32
-				if err := binary.Read(conn, binary.BigEndian, &peer); err != nil {
-					errCh <- err
-					return
-				}
-				eps[i].conns[peer] = conn
-			}
-		}()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := 0; j < i; j++ {
-				conn, err := net.Dial("tcp", addrs[j])
-				if err != nil {
-					errCh <- err
-					return
-				}
-				if err := binary.Write(conn, binary.BigEndian, int32(i)); err != nil {
-					errCh <- err
-					return
-				}
-				eps[i].conns[j] = conn
-			}
-		}()
-	}
-	wg.Wait()
-	close(errCh)
-	for i := range listeners {
-		listeners[i].Close()
-	}
-	if err := <-errCh; err != nil {
+	fail := func(err error) ([]Endpoint, error) {
 		for _, ep := range eps {
 			ep.Close()
 		}
 		return nil, fmt.Errorf("transport: mesh setup: %w", err)
 	}
+	// Mesh: rank i dials every rank j < i; the lower rank accepts. The
+	// dialer sends its rank first so the acceptor can place the conn.
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if err := eps[i].dial(j); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	deadline := time.Now().Add(meshSetupTimeout)
+	for _, ep := range eps {
+		if err := ep.waitMesh(deadline); err != nil {
+			return fail(err)
+		}
+	}
 	out := make([]Endpoint, n)
 	for i, ep := range eps {
-		ep.startReaders()
 		out[i] = ep
 	}
 	return out, nil
 }
 
-// startReaders builds the per-connection gob encoders (gob is a stream
-// protocol: one persistent encoder must feed each persistent decoder) and
-// launches one demux goroutine per peer connection.
-func (e *tcpEndpoint) startReaders() {
-	e.encs = make([]*gob.Encoder, e.size)
-	for r, conn := range e.conns {
-		if conn == nil || r == e.rank {
+// dial connects to peer, performs the rank handshake, and installs the
+// connection, retrying with exponential backoff.
+func (e *tcpEndpoint) dial(peer int) error {
+	backoff := reconnectBackoff
+	var lastErr error
+	for attempt := 0; attempt < reconnectAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		conn, err := net.DialTimeout("tcp", e.addrs[peer], dialTimeout)
+		if err != nil {
+			lastErr = err
 			continue
 		}
-		e.encs[r] = gob.NewEncoder(conn)
-		e.wg.Add(1)
-		go func(conn net.Conn) {
-			defer e.wg.Done()
-			dec := gob.NewDecoder(conn)
-			for {
-				var f frame
-				if err := dec.Decode(&f); err != nil {
-					if err != io.EOF {
-						// Connection torn down; pending receivers learn
-						// about it through inbox closure on Close.
-						_ = err
-					}
-					return
-				}
-				e.inbox.put(f.From, f.Tag, f.Payload)
+		conn.SetWriteDeadline(time.Now().Add(dialTimeout))
+		if err := binary.Write(conn, binary.BigEndian, int32(e.rank)); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		conn.SetWriteDeadline(time.Time{})
+		e.installConn(peer, conn)
+		return nil
+	}
+	return fmt.Errorf("dial rank %d after %d attempts: %w", peer, reconnectAttempts, lastErr)
+}
+
+// waitMesh blocks until this endpoint holds a connection to every peer.
+func (e *tcpEndpoint) waitMesh(deadline time.Time) error {
+	for {
+		e.mu.Lock()
+		n, closed := e.nconn, e.closed
+		e.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		if n == e.size-1 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("rank %d: mesh incomplete (%d/%d peers)", e.rank, n, e.size-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// acceptLoop serves the listener for the endpoint's lifetime, installing
+// initial and replacement connections from dialing peers.
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		conn.SetReadDeadline(time.Now().Add(dialTimeout))
+		var peer int32
+		if err := binary.Read(conn, binary.BigEndian, &peer); err != nil {
+			conn.Close()
+			continue
+		}
+		conn.SetReadDeadline(time.Time{})
+		if int(peer) < 0 || int(peer) >= e.size || int(peer) == e.rank {
+			conn.Close()
+			continue
+		}
+		e.installConn(int(peer), conn)
+	}
+}
+
+// installConn adopts a live connection to peer (replacing any previous one)
+// and launches its reader.
+func (e *tcpEndpoint) installConn(peer int, conn net.Conn) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if old := e.conns[peer]; old != nil {
+		old.Close()
+	} else {
+		e.nconn++
+	}
+	e.conns[peer] = conn
+	e.encs[peer] = gob.NewEncoder(conn)
+	e.gen[peer]++
+	gen := e.gen[peer]
+	e.down[peer] = false
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go e.readLoop(peer, gen, conn)
+	e.inbox.wake()
+}
+
+// readLoop demultiplexes frames from one peer connection into the inbox.
+// When the connection dies and has not been replaced, the peer is marked
+// down and blocked receivers are woken to observe it.
+func (e *tcpEndpoint) readLoop(peer, gen int, conn net.Conn) {
+	defer e.wg.Done()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			e.mu.Lock()
+			if !e.closed && e.gen[peer] == gen {
+				e.down[peer] = true
+				e.conns[peer] = nil
+				e.encs[peer] = nil
+				e.nconn--
 			}
-		}(conn)
+			e.mu.Unlock()
+			e.inbox.wake()
+			return
+		}
+		e.inbox.put(f.From, f.Tag, f.Payload)
 	}
 }
 
@@ -161,7 +261,9 @@ func (e *tcpEndpoint) Rank() int { return e.rank }
 // Size implements Endpoint.
 func (e *tcpEndpoint) Size() int { return e.size }
 
-// Send implements Endpoint.
+// Send implements Endpoint. On a broken connection it attempts one bounded
+// reconnect cycle (dialer side redials with backoff; acceptor side waits for
+// the peer's redial) before reporting the peer down.
 func (e *tcpEndpoint) Send(to int, tag string, payload []byte) error {
 	e.mu.Lock()
 	closed := e.closed
@@ -180,19 +282,113 @@ func (e *tcpEndpoint) Send(to int, tag string, payload []byte) error {
 	}
 	e.wmu[to].Lock()
 	defer e.wmu[to].Unlock()
-	enc := e.encs[to]
+	enc, conn := e.writer(to)
 	if enc == nil {
-		return fmt.Errorf("transport: no connection to rank %d", to)
+		var err error
+		if enc, conn, err = e.reconnect(to); err != nil {
+			return err
+		}
+	}
+	if err := e.encode(enc, conn, to, tag, payload); err != nil {
+		// The connection broke mid-write: one reconnect cycle, one retry.
+		var rerr error
+		if enc, conn, rerr = e.reconnect(to); rerr != nil {
+			return rerr
+		}
+		if err = e.encode(enc, conn, to, tag, payload); err != nil {
+			return &RankDownError{Rank: to, Reason: fmt.Sprintf("send failed after reconnect: %v", err)}
+		}
+	}
+	return nil
+}
+
+// encode writes one frame, bounding the socket write by the configured
+// deadline (SendTimeout semantics).
+func (e *tcpEndpoint) encode(enc *gob.Encoder, conn net.Conn, to int, tag string, payload []byte) error {
+	e.mu.Lock()
+	d := e.dl
+	e.mu.Unlock()
+	if d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+		defer conn.SetWriteDeadline(time.Time{})
 	}
 	return enc.Encode(frame{From: e.rank, Tag: tag, Payload: payload})
 }
 
-// Recv implements Endpoint.
+// writer returns the current encoder/conn pair for peer (nil if down).
+func (e *tcpEndpoint) writer(to int) (*gob.Encoder, net.Conn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.encs[to], e.conns[to]
+}
+
+// reconnect re-establishes the connection to peer with bounded exponential
+// backoff. Only the side that originally dialed (the higher rank) redials;
+// the accepting side waits out the same schedule for the peer's redial to
+// arrive through the listener.
+func (e *tcpEndpoint) reconnect(to int) (*gob.Encoder, net.Conn, error) {
+	if to < e.rank { // we dialed this peer originally: redial
+		if err := e.dial(to); err != nil {
+			return nil, nil, &RankDownError{Rank: to, Reason: fmt.Sprintf("reconnect exhausted: %v", err)}
+		}
+		enc, conn := e.writer(to)
+		if enc == nil {
+			return nil, nil, &RankDownError{Rank: to, Reason: "reconnect raced with disconnect"}
+		}
+		return enc, conn, nil
+	}
+	// Acceptor side: wait for the peer to redial us.
+	backoff := reconnectBackoff
+	for attempt := 0; attempt < reconnectAttempts; attempt++ {
+		time.Sleep(backoff)
+		backoff *= 2
+		if enc, conn := e.writer(to); enc != nil {
+			return enc, conn, nil
+		}
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return nil, nil, ErrClosed
+		}
+	}
+	return nil, nil, &RankDownError{Rank: to, Reason: "peer did not reconnect"}
+}
+
+// Recv implements Endpoint. It honors the default deadline set with
+// SetDeadline and fails fast — after draining queued messages — when the
+// peer's connection is down.
 func (e *tcpEndpoint) Recv(from int, tag string) ([]byte, error) {
+	e.mu.Lock()
+	d := e.dl
+	e.mu.Unlock()
+	return e.RecvTimeout(from, tag, d)
+}
+
+// RecvTimeout implements TimedEndpoint.
+func (e *tcpEndpoint) RecvTimeout(from int, tag string, d time.Duration) ([]byte, error) {
 	if from < 0 || from >= e.size {
 		return nil, fmt.Errorf("transport: recv from invalid rank %d", from)
 	}
-	return e.inbox.get(from, tag)
+	var failed func() error
+	if from != e.rank {
+		failed = func() error {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			if e.down[from] {
+				return &RankDownError{Rank: from, Reason: "peer disconnected"}
+			}
+			return nil
+		}
+	}
+	return e.inbox.get(from, tag, d, failed)
+}
+
+// SetDeadline implements TimedEndpoint.
+func (e *tcpEndpoint) SetDeadline(d time.Duration) {
+	e.mu.Lock()
+	e.dl = d
+	e.mu.Unlock()
 }
 
 // Barrier implements Endpoint.
@@ -219,8 +415,10 @@ func (e *tcpEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
+	conns := append([]net.Conn(nil), e.conns...)
 	e.mu.Unlock()
-	for _, conn := range e.conns {
+	e.listener.Close()
+	for _, conn := range conns {
 		if conn != nil {
 			conn.Close()
 		}

@@ -12,10 +12,32 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrRankDown is the sentinel a *RankDownError matches under errors.Is: a
+// peer is unreachable — its receive deadline expired, its connection dropped
+// without a replacement, or reconnection attempts were exhausted.
+var ErrRankDown = errors.New("transport: rank down")
+
+// RankDownError identifies which peer was lost and why. It wraps
+// ErrRankDown so callers can both test `errors.Is(err, ErrRankDown)` and
+// recover the rank for failure handling.
+type RankDownError struct {
+	Rank   int
+	Reason string
+}
+
+// Error implements error.
+func (e *RankDownError) Error() string {
+	return fmt.Sprintf("transport: rank %d down (%s)", e.Rank, e.Reason)
+}
+
+// Is reports ErrRankDown as this error's sentinel.
+func (e *RankDownError) Is(target error) bool { return target == ErrRankDown }
 
 // Endpoint is one rank's connection to a communicator group. All collective
 // operations must be entered by every rank of the group in the same order.
@@ -42,6 +64,22 @@ type Endpoint interface {
 	Bcast(root int, payload []byte) ([]byte, error)
 	// Close releases the endpoint; blocked receivers return ErrClosed.
 	Close() error
+}
+
+// TimedEndpoint extends Endpoint with deadline-bounded receives. Both
+// built-in transports (and the Faulty wrapper) implement it; the SPMD
+// runner requires it so that no blocking call in its hot loop can hang on a
+// silently-dead peer.
+type TimedEndpoint interface {
+	Endpoint
+	// RecvTimeout is Recv bounded by d (d <= 0 blocks indefinitely, like
+	// Recv). On expiry it returns a *RankDownError for the peer, matching
+	// errors.Is(err, ErrRankDown).
+	RecvTimeout(from int, tag string, d time.Duration) ([]byte, error)
+	// SetDeadline bounds all subsequent plain Recvs — including those
+	// issued internally by the collectives — by d (0 removes the bound).
+	// On the TCP transport it also bounds each Send's socket write.
+	SetDeadline(d time.Duration)
 }
 
 // inboxKey routes messages by (source, tag).
@@ -76,8 +114,25 @@ func (ib *inbox) put(from int, tag string, payload []byte) {
 	ib.cond.Broadcast()
 }
 
-func (ib *inbox) get(from int, tag string) ([]byte, error) {
+// get pops the next message for (from, tag), blocking until one arrives.
+// A positive deadline d bounds the wait: on expiry get returns a
+// *RankDownError for the peer. failed, when non-nil, is re-checked on every
+// wake-up so transports can fail receivers the moment a peer is known dead
+// (queued messages are still drained first).
+func (ib *inbox) get(from int, tag string, d time.Duration, failed func() error) ([]byte, error) {
 	k := inboxKey{from, tag}
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+		// The timer broadcasts under the lock so a waiter cannot check the
+		// clock, miss the wake-up, and then sleep forever.
+		t := time.AfterFunc(d, func() {
+			ib.mu.Lock()
+			ib.cond.Broadcast()
+			ib.mu.Unlock()
+		})
+		defer t.Stop()
+	}
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	for {
@@ -93,8 +148,23 @@ func (ib *inbox) get(from int, tag string) ([]byte, error) {
 		if ib.closed {
 			return nil, ErrClosed
 		}
+		if failed != nil {
+			if err := failed(); err != nil {
+				return nil, err
+			}
+		}
+		if d > 0 && !time.Now().Before(deadline) {
+			return nil, &RankDownError{Rank: from, Reason: "recv deadline exceeded"}
+		}
 		ib.cond.Wait()
 	}
+}
+
+// wake re-broadcasts to blocked receivers (used when peer liveness changes).
+func (ib *inbox) wake() {
+	ib.mu.Lock()
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
 }
 
 func (ib *inbox) close() {

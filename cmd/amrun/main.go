@@ -18,31 +18,47 @@ import (
 	"samrpart/internal/engine"
 	"samrpart/internal/exp"
 	"samrpart/internal/geom"
+	"samrpart/internal/monitor"
 	"samrpart/internal/partition"
 	"samrpart/internal/solver"
 	"samrpart/internal/trace"
 )
 
+// hygieneConfig maps the -hygiene flag to a monitor.Hygiene; the zero value
+// keeps the raw pre-hygiene sensing path.
+func hygieneConfig(on bool) monitor.Hygiene {
+	if !on {
+		return monitor.Hygiene{}
+	}
+	return monitor.DefaultHygiene()
+}
+
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 4, "cluster size")
-		pname    = flag.String("partitioner", "hetero", "hetero | composite | sfchetero | levelwise | greedy | roundrobin")
-		kernel   = flag.String("kernel", "rm3d", "rm3d (oracle-driven) | advect2d | muscl2d | buckley (real numerics)")
-		iters    = flag.Int("iters", 50, "coarse iterations")
-		regrid   = flag.Int("regrid", 5, "regrid every N iterations")
-		sense    = flag.Int("sense", 0, "re-sense every N iterations (0 = once at start)")
-		load     = flag.Bool("load", false, "apply the paper's synthetic background-load script")
-		verbose  = flag.Bool("v", false, "print per-regrid assignments")
-		forecast = flag.String("forecaster", "last", "monitor forecaster: last|mean|median|ewma|adaptive")
-		saveCkpt = flag.String("save", "", "write a checkpoint of the final state to this file")
-		loadCkpt = flag.String("restore", "", "restore hierarchy/solution from this checkpoint before running")
-		stats    = flag.Bool("stats", false, "print per-level hierarchy statistics")
-		workers  = flag.Int("workers", 0, "solver worker-pool width (0 = all cores, 1 = serial; any value is bit-exact)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		ckEvery  = flag.Int("checkpoint-every", 0, "write a periodic checkpoint every N iterations (0 = off)")
-		ckPath   = flag.String("checkpoint-path", "", "periodic checkpoint file (required with -checkpoint-every)")
-		faultStr = flag.String("fault-spec", "", "inject a node crash, e.g. crash:node=2,iter=10")
+		nodes     = flag.Int("nodes", 4, "cluster size")
+		pname     = flag.String("partitioner", "hetero", "hetero | composite | sfchetero | levelwise | greedy | roundrobin")
+		kernel    = flag.String("kernel", "rm3d", "rm3d (oracle-driven) | advect2d | muscl2d | buckley (real numerics)")
+		iters     = flag.Int("iters", 50, "coarse iterations")
+		regrid    = flag.Int("regrid", 5, "regrid every N iterations")
+		sense     = flag.Int("sense", 0, "re-sense every N iterations (0 = once at start)")
+		load      = flag.Bool("load", false, "apply the paper's synthetic background-load script")
+		verbose   = flag.Bool("v", false, "print per-regrid assignments")
+		forecast  = flag.String("forecaster", "last", "monitor forecaster: last|mean|median|ewma|adaptive")
+		saveCkpt  = flag.String("save", "", "write a checkpoint of the final state to this file")
+		loadCkpt  = flag.String("restore", "", "restore hierarchy/solution from this checkpoint before running")
+		stats     = flag.Bool("stats", false, "print per-level hierarchy statistics")
+		workers   = flag.Int("workers", 0, "solver worker-pool width (0 = all cores, 1 = serial; any value is bit-exact)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		ckEvery   = flag.Int("checkpoint-every", 0, "write a periodic checkpoint every N iterations (0 = off)")
+		ckPath    = flag.String("checkpoint-path", "", "periodic checkpoint file (required with -checkpoint-every)")
+		faultStr  = flag.String("fault-spec", "", "inject a node crash, e.g. crash:node=2,iter=10")
+		sensorStr = flag.String("sensor-fault-spec", "",
+			"inject sensor faults, e.g. sensor:seed=7,frac=0.25,drop=0.1,timeout=0.1,garbage=0.2,freeze=0.02")
+		hygiene = flag.Bool("hygiene", false,
+			"enable sensing hygiene (health tracking, sanitization, MAD outlier rejection, staleness decay)")
+		repartThresh = flag.Float64("repartition-threshold", 0,
+			"skip sense-triggered repartitions that improve max-imbalance by less than this many percentage points (0 = always repartition)")
 	)
 	flag.Parse()
 
@@ -50,6 +66,15 @@ func main() {
 	if *faultStr != "" {
 		var err error
 		fault, err = engine.ParseFaultSpec(*faultStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amrun:", err)
+			os.Exit(2)
+		}
+	}
+	var sensorFaults *monitor.ProbeFaultSpec
+	if *sensorStr != "" {
+		var err error
+		sensorFaults, err = monitor.ParseProbeFaultSpec(*sensorStr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "amrun:", err)
 			os.Exit(2)
@@ -157,18 +182,21 @@ func main() {
 		exp.PaperLoadScript(clus)
 	}
 	e, err := engine.New(engine.Config{
-		Name:            fmt.Sprintf("%s/%s", *kernel, p.Name()),
-		Hierarchy:       hier,
-		App:             app,
-		Partitioner:     p,
-		Iterations:      *iters,
-		RegridEvery:     *regrid,
-		SenseEvery:      *sense,
-		Forecaster:      *forecast,
-		Workers:         *workers,
-		CheckpointEvery: *ckEvery,
-		CheckpointPath:  *ckPath,
-		Fault:           fault,
+		Name:                 fmt.Sprintf("%s/%s", *kernel, p.Name()),
+		Hierarchy:            hier,
+		App:                  app,
+		Partitioner:          p,
+		Iterations:           *iters,
+		RegridEvery:          *regrid,
+		SenseEvery:           *sense,
+		Forecaster:           *forecast,
+		Workers:              *workers,
+		CheckpointEvery:      *ckEvery,
+		CheckpointPath:       *ckPath,
+		Fault:                fault,
+		SensorFaults:         sensorFaults,
+		Hygiene:              hygieneConfig(*hygiene),
+		RepartitionThreshold: *repartThresh,
 	}, clus)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amrun:", err)
@@ -195,6 +223,13 @@ func main() {
 	fmt.Println(tr.Summary())
 	fmt.Printf("mean node utilization: %.0f%%, redistributed %.1f MB\n",
 		tr.MeanUtilization()*100, tr.MovedBytes/1e6)
+	if sensorFaults != nil || *hygiene || *repartThresh > 0 {
+		fmt.Printf("sensing: %d probes, %d degraded (%d timeouts, %d drops, %d garbage, %d outliers), %d dead sensors\n",
+			tr.Sensor.Probes, tr.Sensor.Degradations(), tr.Sensor.Timeouts,
+			tr.Sensor.Drops, tr.Sensor.Garbage, tr.Sensor.Outliers, tr.Sensor.DeadNodes)
+		fmt.Printf("control loop: %d repartitions adopted, %d skipped, %d fallbacks, %d failed senses\n",
+			tr.Repartitions, tr.RepartitionsSkipped, tr.Degraded.Total(), tr.SenseFailures)
+	}
 	h := e.Hierarchy()
 	fmt.Printf("final hierarchy: %d levels, %d boxes, %d total work units\n",
 		h.NumLevels(), len(h.AllBoxes()), h.TotalWork())

@@ -17,6 +17,7 @@ import (
 
 	"samrpart/internal/engine"
 	"samrpart/internal/exp"
+	"samrpart/internal/monitor"
 )
 
 // renderable is any experiment result that can print itself.
@@ -36,12 +37,17 @@ func main() {
 		ablations = flag.Bool("ablations", false, "design-choice ablations")
 		faultExp  = flag.Bool("fault", false, "fault study: node crash on the virtual cluster + SPMD rank recovery")
 		faultStr  = flag.String("fault-spec", "crash:rank=2,iter=10", "crash injected by -fault, e.g. crash:rank=2,iter=10")
-		workers   = flag.Int("workers", 0, "cap scheduler threads via GOMAXPROCS (0 = leave as-is); experiment configs drive solver kernels internally, so this bounds their pool width")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		sensorExp = flag.Bool("sensorfault", false, "degraded-sensing study: static vs naive vs hygienic adaptive under sensor faults")
+		sensorStr = flag.String("sensor-fault-spec", "",
+			"sensor faults for -sensorfault (default: the study's built-in spec), e.g. sensor:seed=7,frac=0.25,garbage=0.3")
+		repartThresh = flag.Float64("repartition-threshold", 0,
+			"hysteresis threshold for the -sensorfault hygiene scenario (imbalance percentage points)")
+		workers = flag.Int("workers", 0, "cap scheduler threads via GOMAXPROCS (0 = leave as-is); experiment configs drive solver kernels internally, so this bounds their pool width")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
-	if !(*all || *fig7 || *fig8 || *fig11 || *table2 || *table3 || *ablations || *scaling || *faultExp) {
+	if !(*all || *fig7 || *fig8 || *fig11 || *table2 || *table3 || *ablations || *scaling || *faultExp || *sensorExp) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -49,6 +55,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
+	}
+	var sensorSpec *monitor.ProbeFaultSpec
+	if *sensorStr != "" {
+		sensorSpec, err = monitor.ParseProbeFaultSpec(*sensorStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
 	}
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
@@ -99,6 +113,7 @@ func main() {
 		{*all || *ablations, "Ablation: locality vs balance", func() (renderable, error) { return exp.AblationLocality() }},
 		{*all || *ablations, "Ablation: weights under memory pressure", func() (renderable, error) { return exp.AblationMemoryWeights() }},
 		{*all || *faultExp, "Fault recovery", func() (renderable, error) { return exp.FaultRecovery(16, fault.Rank, fault.Iter) }},
+		{*all || *sensorExp, "Degraded sensing", func() (renderable, error) { return exp.SensorFaults(40, sensorSpec, *repartThresh) }},
 		{*all || *scaling, "Strong scaling", func() (renderable, error) { return exp.Scalability() }},
 		{*all || *scaling, "Heterogeneity sweep", func() (renderable, error) { return exp.HeterogeneitySweep() }},
 		{*all || *scaling, "Mixed hardware", func() (renderable, error) { return exp.MixedHardware() }},

@@ -62,19 +62,60 @@ var ErrNoNodes = errors.New("capacity: no measurements")
 // it cannot be normalized.
 var ErrDegenerate = errors.New("capacity: resource totals are zero across the cluster")
 
+// ErrInvalidMeasurement is returned when a measurement carries a NaN or
+// infinite value. Without the explicit check, math.Max(NaN, 0) would
+// propagate NaN through the resource totals into every node's capacity and
+// from there into the partitioner's quotas; a sick sensor must surface as a
+// typed error the control loop can react to, never as silent NaN quotas.
+var ErrInvalidMeasurement = errors.New("capacity: non-finite measurement")
+
+// Finite reports whether all three resource values are finite (no NaN/Inf).
+func (m Measurement) Finite() bool {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	return finite(m.CPUAvail) && finite(m.FreeMemoryMB) && finite(m.BandwidthMBps)
+}
+
 // Relative computes the relative capacities C_k. The result sums to 1.
+// Negative values clamp to zero; NaN/Inf values are rejected with
+// ErrInvalidMeasurement.
 func Relative(ms []Measurement, w Weights) ([]float64, error) {
+	return RelativeMasked(ms, w, nil)
+}
+
+// RelativeMasked computes the relative capacities C_k over the subset of
+// nodes with valid[k] == true: masked-out nodes (dead or insane sensors)
+// contribute nothing to the resource totals and receive capacity 0, and the
+// remainder is renormalized so the result still sums to 1 — the
+// sensing-layer analogue of partition.PartitionAlive. A nil mask treats
+// every node as valid, making the call identical to Relative. Non-finite
+// measurements on valid nodes are rejected with ErrInvalidMeasurement.
+func RelativeMasked(ms []Measurement, w Weights, valid []bool) ([]float64, error) {
 	if len(ms) == 0 {
 		return nil, ErrNoNodes
+	}
+	if valid != nil && len(valid) != len(ms) {
+		return nil, fmt.Errorf("capacity: validity mask has %d entries for %d nodes", len(valid), len(ms))
 	}
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	ok := func(k int) bool { return valid == nil || valid[k] }
+	nValid := 0
 	var totP, totM, totB float64
-	for _, m := range ms {
+	for k, m := range ms {
+		if !ok(k) {
+			continue
+		}
+		if !m.Finite() {
+			return nil, fmt.Errorf("capacity: node %d measurement %+v: %w", k, m, ErrInvalidMeasurement)
+		}
+		nValid++
 		totP += math.Max(m.CPUAvail, 0)
 		totM += math.Max(m.FreeMemoryMB, 0)
 		totB += math.Max(m.BandwidthMBps, 0)
+	}
+	if nValid == 0 {
+		return nil, fmt.Errorf("capacity: every node masked out: %w", ErrDegenerate)
 	}
 	// A resource that is zero everywhere carries no information; fold its
 	// weight into the others when possible, else fail.
@@ -106,6 +147,9 @@ func Relative(ms []Measurement, w Weights) ([]float64, error) {
 	}
 	caps := make([]float64, len(ms))
 	for k, m := range ms {
+		if !ok(k) {
+			continue
+		}
 		var c float64
 		if totP > 0 {
 			c += wp * math.Max(m.CPUAvail, 0) / totP

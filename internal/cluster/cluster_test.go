@@ -74,6 +74,32 @@ func TestSinusoidLoadBounded(t *testing.T) {
 	}
 }
 
+func TestNoiseLoad(t *testing.T) {
+	n := Noise{Seed: 3, Mean: 0.4, Amplitude: 0.2, SlotSec: 0.5, MemMB: 10}
+	distinct := map[float64]bool{}
+	for ti := 0; ti < 200; ti++ {
+		tm := float64(ti) * 0.25
+		v := n.CPULoad(tm)
+		if v < 0.2-1e-12 || v > 0.6+1e-12 {
+			t.Fatalf("noise at t=%g out of [mean±amp]: %g", tm, v)
+		}
+		if v != n.CPULoad(tm) {
+			t.Fatalf("noise at t=%g not deterministic", tm)
+		}
+		distinct[v] = true
+	}
+	if len(distinct) < 10 {
+		t.Errorf("noise produced only %d distinct values over 200 slots", len(distinct))
+	}
+	if n.MemoryMB(7) != 10 {
+		t.Errorf("noise memory = %g", n.MemoryMB(7))
+	}
+	if other := (Noise{Seed: 4, Mean: 0.4, Amplitude: 0.2, SlotSec: 0.5}); other.CPULoad(1) == n.CPULoad(1) &&
+		other.CPULoad(2) == n.CPULoad(2) && other.CPULoad(3) == n.CPULoad(3) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
 func TestNodeAvailability(t *testing.T) {
 	n, err := NewNode(LinuxWorkstation())
 	if err != nil {

@@ -90,6 +90,43 @@ func (s Sinusoid) CPULoad(t float64) float64 {
 // MemoryMB implements LoadGenerator.
 func (s Sinusoid) MemoryMB(t float64) float64 { return s.MemMB }
 
+// Noise jitters load uniformly in [Mean-Amplitude, Mean+Amplitude], clamped
+// to [0, 1]. The value is a pure seeded hash of the time slot floor(t/SlotSec),
+// so runs are deterministic and, unlike Sinusoid, consecutive slots are
+// uncorrelated: with the same Mean on every node the cluster stays balanced
+// on average while each individual reading wiggles — the scenario where
+// repartitioning on every sense is pure churn.
+type Noise struct {
+	// Seed decorrelates generators; give each node a different seed.
+	Seed int64
+	// Mean is the central CPU load, Amplitude the half-width of the jitter.
+	Mean, Amplitude float64
+	// SlotSec is the jitter resolution (<= 0 means 1s slots).
+	SlotSec float64
+	// MemMB is a constant background memory footprint.
+	MemMB float64
+}
+
+// CPULoad implements LoadGenerator.
+func (n Noise) CPULoad(t float64) float64 {
+	slot := n.SlotSec
+	if slot <= 0 {
+		slot = 1
+	}
+	k := uint64(n.Seed)*0x9E3779B97F4A7C15 + uint64(int64(math.Floor(t/slot)))
+	// splitmix64 finalizer: a well-mixed 64-bit hash of (seed, slot).
+	k ^= k >> 30
+	k *= 0xBF58476D1CE4E5B9
+	k ^= k >> 27
+	k *= 0x94D049BB133111EB
+	k ^= k >> 31
+	u := float64(k>>11) / (1 << 53) // uniform [0, 1)
+	return clamp01(n.Mean + n.Amplitude*(2*u-1))
+}
+
+// MemoryMB implements LoadGenerator.
+func (n Noise) MemoryMB(t float64) float64 { return n.MemMB }
+
 func clamp01(v float64) float64 {
 	if v < 0 {
 		return 0

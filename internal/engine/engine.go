@@ -3,12 +3,14 @@ package engine
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"sync"
 
 	"samrpart/internal/amr"
 	"samrpart/internal/capacity"
 	"samrpart/internal/checkpoint"
 	"samrpart/internal/cluster"
+	"samrpart/internal/geom"
 	"samrpart/internal/monitor"
 	"samrpart/internal/partition"
 	"samrpart/internal/trace"
@@ -60,6 +62,22 @@ type Config struct {
 	// recovery); a static configuration never notices and keeps the dead
 	// node's share assigned to it.
 	Fault *FaultPlan
+	// SensorFaults, when set, wraps the monitor's prober with deterministic
+	// sensor-fault injection (timeouts, dropouts, frozen readings, garbage
+	// values) — the sensing-layer analogue of the transport fault spec.
+	SensorFaults *monitor.ProbeFaultSpec
+	// Hygiene configures the monitor's sensing hygiene (sanitization, MAD
+	// outlier rejection, health tracking, staleness decay). The zero value
+	// disables it, preserving the raw pre-hygiene behaviour bit for bit.
+	Hygiene monitor.Hygiene
+	// RepartitionThreshold is the control loop's hysteresis bound in
+	// imbalance percentage points: a sense-triggered repartition is only
+	// adopted when it improves the predicted max-imbalance by more than
+	// this, so a jittery-but-balanced cluster is not repeatedly thrashed by
+	// redistribution whose cost exceeds the imbalance it removes. 0 keeps
+	// the always-repartition behaviour. Regrid-triggered repartitions are
+	// never skipped (the box list changed).
+	RepartitionThreshold float64
 }
 
 func (c Config) validate() error {
@@ -86,6 +104,14 @@ func (c Config) validate() error {
 	}
 	if c.Fault != nil && (c.Fault.Rank < 0 || c.Fault.Iter < 0) {
 		return fmt.Errorf("engine: fault plan needs non-negative node and iteration")
+	}
+	if c.RepartitionThreshold < 0 || math.IsNaN(c.RepartitionThreshold) {
+		return fmt.Errorf("engine: repartition threshold %g must be >= 0", c.RepartitionThreshold)
+	}
+	if c.SensorFaults != nil {
+		if err := c.SensorFaults.Validate(); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
 	}
 	return c.Hierarchy.Validate()
 }
@@ -130,10 +156,15 @@ func New(cfg Config, clus *cluster.Cluster) (*Engine, error) {
 	if _, err := monitor.NewForecaster(fname); err != nil {
 		return nil, err
 	}
-	mon := monitor.New(monitor.ClusterProber{C: clus}, func() monitor.Forecaster {
+	var prober monitor.Prober = monitor.ClusterProber{C: clus}
+	if cfg.SensorFaults != nil {
+		prober = monitor.NewFaultyProber(prober, *cfg.SensorFaults)
+	}
+	mon := monitor.New(prober, func() monitor.Forecaster {
 		f, _ := monitor.NewForecaster(fname)
 		return f
 	})
+	mon.SetHygiene(cfg.Hygiene)
 	if wc, ok := cfg.App.(WorkerConfigurable); ok {
 		wc.SetWorkers(cfg.Workers)
 	}
@@ -164,14 +195,26 @@ func (e *Engine) work() partition.WorkFunc {
 }
 
 // sense probes the monitor, recomputes capacities and charges the probe
-// cost.
+// cost. Dead-sensor nodes are masked out of the capacity metric; a sweep
+// whose capacities cannot be computed at all (garbage measurements, every
+// sensor dead) keeps the previous capacities — or falls back to a uniform
+// split before any are known — instead of aborting the run.
 func (e *Engine) sense() error {
 	ms := e.mon.Sense(e.clus.Now())
-	caps, err := capacity.Relative(ms, e.cfg.Weights)
-	if err != nil {
+	caps, err := capacity.RelativeMasked(ms, e.cfg.Weights, e.mon.Alive())
+	switch {
+	case err == nil:
+		e.caps = caps
+	case e.caps != nil:
+		e.tr.SenseFailures++
+	case e.cfg.Hygiene.Enabled:
+		e.tr.SenseFailures++
+		e.caps = partition.UniformCaps(e.clus.NumNodes())
+	default:
+		// Raw mode before any capacities are known: surface the error, the
+		// pre-hygiene contract.
 		return fmt.Errorf("engine: capacity: %w", err)
 	}
-	e.caps = caps
 	cost := e.clus.SenseTime()
 	e.clus.Advance(cost)
 	e.tr.SenseTime += cost
@@ -179,14 +222,115 @@ func (e *Engine) sense() error {
 	return nil
 }
 
-// repartition runs the partitioner over the current hierarchy, charges the
-// regrid/redistribution costs, and records the assignment.
-func (e *Engine) repartition(iter int) error {
-	boxes := e.hier.AllBoxes()
-	assign, err := e.cfg.Partitioner.Partition(boxes, e.caps, e.work())
+// trueCaps computes the ground-truth relative capacities straight from the
+// cluster state, bypassing fault injection and forecasting — observability
+// only, never fed back into the control loop.
+func (e *Engine) trueCaps() []float64 {
+	p := monitor.ClusterProber{C: e.clus}
+	ms := make([]capacity.Measurement, e.clus.NumNodes())
+	for k := range ms {
+		ms[k] = p.Probe(k)
+	}
+	caps, err := capacity.Relative(ms, e.cfg.Weights)
 	if err != nil {
+		return nil
+	}
+	return caps
+}
+
+// partitionValidated runs the configured partitioner and validates its
+// output before anything is adopted. On error or invalid output it walks
+// the degradation chain — ACEHeterogeneous, then ACEComposite — counting
+// every fallback; only when no partitioner produces a valid assignment does
+// it return the original error (the caller then decides whether the
+// last-good assignment can be kept).
+func (e *Engine) partitionValidated(boxes geom.BoxList) (*partition.Assignment, error) {
+	work := e.work()
+	try := func(p partition.Partitioner) (*partition.Assignment, error) {
+		a, err := p.Partition(boxes, e.caps, work)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.Validate(boxes, work); err != nil {
+			e.tr.Degraded.InvalidRejected++
+			return nil, fmt.Errorf("engine: invalid assignment from %s: %w", p.Name(), err)
+		}
+		return a, nil
+	}
+	a, err := try(e.cfg.Partitioner)
+	if err == nil {
+		return a, nil
+	}
+	e.tr.Degraded.PartitionErrors++
+	if _, isHetero := e.cfg.Partitioner.(*partition.Hetero); !isHetero {
+		if a, err2 := try(partition.NewHetero()); err2 == nil {
+			e.tr.Degraded.FallbackHetero++
+			return a, nil
+		}
+	}
+	if _, isComposite := e.cfg.Partitioner.(*partition.Composite); !isComposite {
+		if a, err2 := try(partition.NewComposite(e.cfg.Hierarchy.RefineRatio)); err2 == nil {
+			e.tr.Degraded.FallbackComposite++
+			return a, nil
+		}
+	}
+	return nil, err
+}
+
+// currentImbalance returns the max-imbalance the standing assignment would
+// have under the freshly sensed capacities (its work measured against the
+// new ideal shares).
+func (e *Engine) currentImbalance() float64 {
+	total := e.assign.TotalWork()
+	ideal := capacity.Shares(e.caps, total)
+	return capacity.MaxImbalance(e.assign.Work, ideal)
+}
+
+// repartition runs the partitioner over the current hierarchy, charges the
+// regrid/redistribution costs, and records the assignment. With maySkip set
+// (sense-triggered calls under a positive RepartitionThreshold) the
+// hysteresis guard applies: if the standing assignment is already within
+// the threshold of ideal under the fresh capacities, or the candidate's
+// improvement does not exceed the threshold, the standing assignment is
+// kept and no redistribution is charged.
+func (e *Engine) repartition(iter int, maySkip bool) error {
+	hysteresis := maySkip && e.cfg.RepartitionThreshold > 0 && e.assign != nil
+	if hysteresis && e.currentImbalance() <= e.cfg.RepartitionThreshold {
+		// Nothing to gain: improvement is bounded by the current imbalance.
+		e.tr.RepartitionsSkipped++
+		return nil
+	}
+	boxes := e.hier.AllBoxes()
+	assign, err := e.partitionValidated(boxes)
+	if err != nil {
+		// Degradation floor: ride the last valid assignment when the box
+		// list is unchanged (sense-triggered repartitions); a regrid has no
+		// such refuge — its old assignment covers the wrong boxes.
+		if maySkip && e.assign != nil {
+			e.tr.Degraded.KeptLastGood++
+			return nil
+		}
 		return fmt.Errorf("engine: partition: %w", err)
 	}
+	if hysteresis {
+		// Partitioning work happened either way; charge it even if the
+		// result is discarded.
+		cost := e.clus.Params().RegridCostSec
+		e.clus.Advance(cost)
+		e.tr.RegridTime += cost
+		if e.currentImbalance()-assign.MaxImbalance() <= e.cfg.RepartitionThreshold {
+			e.tr.RepartitionsSkipped++
+			return nil
+		}
+		return e.adopt(iter, assign, false)
+	}
+	return e.adopt(iter, assign, true)
+}
+
+// adopt installs a validated assignment, charging redistribution (and,
+// unless already charged by the hysteresis path, regrid) costs and
+// recording the event.
+func (e *Engine) adopt(iter int, assign *partition.Assignment, chargeRegrid bool) error {
 	// Redistribution cost: cells whose owner changed move over the wire.
 	if e.assign != nil {
 		moved := movedBytes(e.assign, assign, e.cfg.App.BytesPerCell(), e.clus.NumNodes())
@@ -203,10 +347,13 @@ func (e *Engine) repartition(iter int) error {
 		e.clus.Advance(maxT)
 		e.tr.CommTime += maxT
 	}
-	cost := e.clus.Params().RegridCostSec
-	e.clus.Advance(cost)
-	e.tr.RegridTime += cost
+	if chargeRegrid {
+		cost := e.clus.Params().RegridCostSec
+		e.clus.Advance(cost)
+		e.tr.RegridTime += cost
+	}
 	e.assign = assign
+	e.tr.Repartitions++
 	e.tr.Records = append(e.tr.Records, trace.AssignmentRecord{
 		Regrid:      len(e.tr.Records) + 1,
 		Iter:        iter,
@@ -215,6 +362,7 @@ func (e *Engine) repartition(iter int) error {
 		Work:        append([]float64(nil), assign.Work...),
 		Ideal:       append([]float64(nil), assign.Ideal...),
 		Boxes:       len(assign.Boxes),
+		TrueCaps:    e.trueCaps(),
 	})
 	return nil
 }
@@ -346,7 +494,7 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 				if err := e.sense(); err != nil {
 					return nil, err
 				}
-				if err := e.repartition(iter); err != nil {
+				if err := e.repartition(iter, true); err != nil {
 					return nil, err
 				}
 			}
@@ -356,7 +504,7 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 				return nil, err
 			}
 			// Fresh capacities take effect immediately: redistribute.
-			if err := e.repartition(iter); err != nil {
+			if err := e.repartition(iter, true); err != nil {
 				return nil, err
 			}
 		}
@@ -418,7 +566,30 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 		}
 	}
 	e.tr.ExecTime = e.clus.Now() - start
+	e.snapshotSensorHealth()
 	return e.tr, nil
+}
+
+// snapshotSensorHealth copies the monitor's sensing counters into the trace.
+func (e *Engine) snapshotSensorHealth() {
+	st := e.mon.SenseStats()
+	dead := 0
+	for k := 0; k < e.mon.NumNodes(); k++ {
+		if e.mon.Health(k) == monitor.HealthDead {
+			dead++
+		}
+	}
+	e.tr.Sensor = trace.SensorHealth{
+		Probes:         st.Probes,
+		Timeouts:       st.Timeouts,
+		Drops:          st.Drops,
+		Panics:         st.Panics,
+		Garbage:        st.Garbage,
+		Outliers:       st.Outliers,
+		StaleFallbacks: st.StaleFallbacks,
+		Decays:         st.Decays,
+		DeadNodes:      dead,
+	}
 }
 
 // regridAndPartition runs the flag → regrid → partition pipeline.
@@ -433,5 +604,5 @@ func (e *Engine) regridAndPartition(iter int) error {
 	if err := e.cfg.App.Regridded(e.hier); err != nil {
 		return err
 	}
-	return e.repartition(iter)
+	return e.repartition(iter, false)
 }

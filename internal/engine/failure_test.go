@@ -2,7 +2,6 @@ package engine
 
 import (
 	"errors"
-	"strings"
 	"testing"
 
 	"samrpart/internal/amr"
@@ -93,7 +92,10 @@ func (f *failingPartitioner) Partition(boxes geom.BoxList, caps []float64, work 
 	return partition.NewHetero().Partition(boxes, caps, work)
 }
 
-func TestEnginePropagatesPartitionerErrors(t *testing.T) {
+func TestEngineFallsBackOnPartitionerErrors(t *testing.T) {
+	// Since the self-validating control loop, a partitioner error no longer
+	// kills the run: the engine degrades along hetero → composite →
+	// last-good and finishes, counting every event.
 	clus := newCluster(t, 2)
 	cfg := baseConfig()
 	cfg.Partitioner = &failingPartitioner{after: 2}
@@ -101,9 +103,52 @@ func TestEnginePropagatesPartitionerErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = e.Run()
-	if err == nil || !strings.Contains(err.Error(), "injected") {
-		t.Errorf("Run err = %v", err)
+	tr, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run err = %v, want degraded completion", err)
+	}
+	if tr.Degraded.PartitionErrors == 0 || tr.Degraded.FallbackHetero == 0 {
+		t.Errorf("degradation not counted: %+v", tr.Degraded)
+	}
+	if e.Assignment() == nil {
+		t.Error("no assignment adopted")
+	}
+}
+
+// invalidPartitioner returns assignments that fail Assignment.Validate
+// (it drops every box).
+type invalidPartitioner struct{ calls int }
+
+func (p *invalidPartitioner) Name() string { return "invalid" }
+func (p *invalidPartitioner) Partition(boxes geom.BoxList, caps []float64, work partition.WorkFunc) (*partition.Assignment, error) {
+	p.calls++
+	return &partition.Assignment{Work: make([]float64, len(caps)), Ideal: make([]float64, len(caps))}, nil
+}
+
+func TestEngineRejectsInvalidAssignments(t *testing.T) {
+	// An assignment that fails validation must never be adopted; the run
+	// completes on the fallback partitioners instead.
+	clus := newCluster(t, 2)
+	cfg := baseConfig()
+	p := &invalidPartitioner{}
+	cfg.Partitioner = p
+	e, err := New(cfg, clus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run err = %v, want degraded completion", err)
+	}
+	if p.calls == 0 {
+		t.Fatal("configured partitioner never called")
+	}
+	if tr.Degraded.InvalidRejected == 0 || tr.Degraded.FallbackHetero == 0 {
+		t.Errorf("invalid assignments not counted: %+v", tr.Degraded)
+	}
+	// Everything the engine adopted must itself be valid.
+	if a := e.Assignment(); a == nil || len(a.Boxes) == 0 {
+		t.Errorf("adopted assignment = %+v", a)
 	}
 }
 

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSensorFaultExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensor-fault experiment in -short mode")
+	}
+	res, err := SensorFaults(40, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	clean, static, naive, hygiene := res.Rows[0], res.Rows[1], res.Rows[2], res.Rows[3]
+	// Shape criteria (EXPERIMENTS.md): measured against ground-truth
+	// capacities, the hygienic adaptive run beats both the run that trusts
+	// every reading and the run that never re-senses; the fault-free run
+	// bounds them all.
+	if hygiene.TrueImb >= naive.TrueImb {
+		t.Errorf("hygiene true imbalance %.1f%% not below naive %.1f%%",
+			hygiene.TrueImb, naive.TrueImb)
+	}
+	if hygiene.TrueImb >= static.TrueImb {
+		t.Errorf("hygiene true imbalance %.1f%% not below static %.1f%%",
+			hygiene.TrueImb, static.TrueImb)
+	}
+	if clean.TrueImb >= hygiene.TrueImb {
+		t.Errorf("fault-free imbalance %.1f%% should bound hygiene %.1f%%",
+			clean.TrueImb, hygiene.TrueImb)
+	}
+	if clean.Degraded != 0 {
+		t.Errorf("fault-free run saw %d degraded probes", clean.Degraded)
+	}
+	if naive.Degraded == 0 || hygiene.Degraded == 0 {
+		t.Errorf("fault injection inert: naive=%d hygiene=%d degraded probes",
+			naive.Degraded, hygiene.Degraded)
+	}
+	// Hygiene absorbs the faults before the capacity metric: no sensing
+	// sweep fails outright.
+	if hygiene.SenseFail != 0 {
+		t.Errorf("hygiene run had %d failed senses", hygiene.SenseFail)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hygiene adaptive", "True imb"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}

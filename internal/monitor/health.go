@@ -1,0 +1,270 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"samrpart/internal/capacity"
+)
+
+// Health is the per-node sensor health state the monitor tracks:
+//
+//	OK ──miss──▶ Stale ──misses──▶ Suspect ──misses──▶ Dead
+//	 ▲                                                   │
+//	 └────────────── any accepted reading ◀──────────────┘
+//
+// A "miss" is any probe that produced no usable reading: a timeout, a
+// dropout, a prober panic, a garbage value, or a MAD-rejected outlier.
+type Health int
+
+const (
+	// HealthOK: the latest probe was accepted.
+	HealthOK Health = iota
+	// HealthStale: recent misses; the node rides on its last forecast.
+	HealthStale
+	// HealthSuspect: the staleness budget is spent; the node's reported
+	// capacity decays toward the floor.
+	HealthSuspect
+	// HealthDead: the sensor is considered gone; the node is excluded from
+	// the capacity mask until a probe succeeds again.
+	HealthDead
+)
+
+// String renders the state for diagnostics.
+func (h Health) String() string {
+	switch h {
+	case HealthOK:
+		return "ok"
+	case HealthStale:
+		return "stale"
+	case HealthSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// Hygiene configures the monitor's input sanitization and degradation
+// policy. The zero value disables hygiene entirely: probes feed the
+// forecasters raw, exactly the pre-hygiene behaviour (failed probes then
+// read as zero, the naive "no data means nothing available"
+// interpretation).
+type Hygiene struct {
+	// Enabled turns the pipeline on.
+	Enabled bool
+	// SuspectAfter is the consecutive-miss count at which a node turns
+	// Suspect (default 2; 1..SuspectAfter-1 misses = Stale).
+	SuspectAfter int
+	// DeadAfter is the consecutive-miss count at which a node is declared
+	// Dead and masked out of the capacity metric (default 4).
+	DeadAfter int
+	// StalenessBudget is how many consecutive misses a node may ride on its
+	// last forecast unchanged before decay starts (default 1).
+	StalenessBudget int
+	// DecayFactor multiplies the remaining capacity above the floor on each
+	// miss past the budget (default 0.5).
+	DecayFactor float64
+	// CPUFloor is the CPU-availability floor the decay approaches
+	// (default 0.02): a silent node is assumed nearly — but never exactly —
+	// useless, so quotas stay finite.
+	CPUFloor float64
+	// CPUMax is the sanity ceiling on reported CPU availability
+	// (default 1.5): availability is a fraction of one node, so anything
+	// far above 1 is garbage even before the outlier filter has history.
+	CPUMax float64
+	// MADWindow is how many accepted samples per resource feed the
+	// median-absolute-deviation outlier filter (default 8).
+	MADWindow int
+	// MADK is the rejection threshold in robust standard deviations
+	// (default 4): a reading further than MADK·1.4826·MAD from the window
+	// median is rejected.
+	MADK float64
+}
+
+// DefaultHygiene returns the enabled policy with default thresholds.
+func DefaultHygiene() Hygiene {
+	return Hygiene{Enabled: true}.withDefaults()
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (h Hygiene) withDefaults() Hygiene {
+	if h.SuspectAfter <= 0 {
+		h.SuspectAfter = 2
+	}
+	if h.DeadAfter <= h.SuspectAfter {
+		h.DeadAfter = h.SuspectAfter + 2
+	}
+	if h.StalenessBudget <= 0 {
+		h.StalenessBudget = 1
+	}
+	if h.DecayFactor <= 0 || h.DecayFactor >= 1 {
+		h.DecayFactor = 0.5
+	}
+	if h.CPUFloor <= 0 {
+		h.CPUFloor = 0.02
+	}
+	if h.CPUMax <= 0 {
+		h.CPUMax = 1.5
+	}
+	if h.MADWindow <= 0 {
+		h.MADWindow = 8
+	}
+	if h.MADK <= 0 {
+		h.MADK = 4
+	}
+	return h
+}
+
+// SenseStats counts what the sensing pipeline did, for traces and studies.
+type SenseStats struct {
+	// Probes is the total number of per-node probe attempts.
+	Probes int
+	// Timeouts, Drops and Panics are probes that produced no reading.
+	Timeouts, Drops, Panics int
+	// Garbage counts readings rejected by sanitization (NaN/Inf/negative/
+	// implausible), Outliers those rejected by the MAD filter.
+	Garbage, Outliers int
+	// StaleFallbacks counts senses answered from the last forecast within
+	// the staleness budget; Decays counts senses past it.
+	StaleFallbacks, Decays int
+}
+
+// nodeHealth is the per-node hygiene state.
+type nodeHealth struct {
+	// misses is the current consecutive-miss streak.
+	misses int
+	// win holds the recent accepted values per resource (cpu, mem, bw) for
+	// the MAD filter.
+	win [3][]float64
+}
+
+// errProbePanic classifies a recovered prober panic.
+var errProbePanic = errors.New("monitor: prober panicked")
+
+// healthOf maps a miss streak to a state under the policy.
+func healthOf(misses int, h Hygiene) Health {
+	h = h.withDefaults()
+	switch {
+	case misses == 0:
+		return HealthOK
+	case misses < h.SuspectAfter:
+		return HealthStale
+	case misses < h.DeadAfter:
+		return HealthSuspect
+	default:
+		return HealthDead
+	}
+}
+
+// SetHygiene installs the hygiene policy (defaults filled in). Call before
+// the first Sense; switching mid-run is safe but resets no state.
+func (m *Monitor) SetHygiene(h Hygiene) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h.Enabled {
+		h = h.withDefaults()
+	}
+	m.hygiene = h
+}
+
+// Hygiene returns the active policy.
+func (m *Monitor) Hygiene() Hygiene {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hygiene
+}
+
+// Health returns node k's sensor health state.
+func (m *Monitor) Health(k int) Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if k < 0 || k >= len(m.health) {
+		return HealthDead
+	}
+	return healthOf(m.health[k].misses, m.hygiene)
+}
+
+// Alive returns the capacity validity mask: false marks nodes whose sensor
+// is Dead. With hygiene disabled every node is reported alive (raw
+// behaviour), even if probes are failing.
+func (m *Monitor) Alive() []bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]bool, len(m.health))
+	for k := range out {
+		out[k] = !m.hygiene.Enabled || healthOf(m.health[k].misses, m.hygiene) != HealthDead
+	}
+	return out
+}
+
+// SenseStats returns a snapshot of the pipeline counters.
+func (m *Monitor) SenseStats() SenseStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// sane reports whether a reading passes basic sanitization: finite,
+// non-negative, CPU availability below the plausibility ceiling.
+func (h Hygiene) sane(m capacity.Measurement) bool {
+	return m.Finite() &&
+		m.CPUAvail >= 0 && m.FreeMemoryMB >= 0 && m.BandwidthMBps >= 0 &&
+		m.CPUAvail <= h.CPUMax
+}
+
+// madOutlier reports whether x is a MAD outlier against the window. With
+// fewer than 4 samples there is no robust baseline and nothing is rejected.
+func madOutlier(win []float64, x float64, k float64) bool {
+	if len(win) < 4 {
+		return false
+	}
+	tmp := make([]float64, len(win))
+	copy(tmp, win)
+	sort.Float64s(tmp)
+	med := median(tmp)
+	for i, v := range tmp {
+		tmp[i] = math.Abs(v - med)
+	}
+	sort.Float64s(tmp)
+	mad := median(tmp)
+	// Robust sigma with a relative floor so a perfectly constant history
+	// (MAD = 0) does not reject ordinary jitter.
+	sigma := math.Max(1.4826*mad, math.Max(0.05*math.Abs(med), 1e-9))
+	return math.Abs(x-med) > k*sigma
+}
+
+// median of a sorted non-empty slice.
+func median(sorted []float64) float64 {
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// push appends an accepted value to a bounded window.
+func push(win []float64, v float64, cap int) []float64 {
+	win = append(win, v)
+	if len(win) > cap {
+		win = win[1:]
+	}
+	return win
+}
+
+// decayed shrinks a stale forecast toward the floor: after n misses past
+// the staleness budget each resource is floor + (value−floor)·factor^n.
+func (h Hygiene) decayed(m capacity.Measurement, n int) capacity.Measurement {
+	f := math.Pow(h.DecayFactor, float64(n))
+	decay := func(v, floor float64) float64 {
+		if v < floor {
+			return v
+		}
+		return floor + (v-floor)*f
+	}
+	return capacity.Measurement{
+		CPUAvail:      decay(m.CPUAvail, h.CPUFloor),
+		FreeMemoryMB:  decay(m.FreeMemoryMB, 0),
+		BandwidthMBps: decay(m.BandwidthMBps, 0),
+	}
+}

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -64,7 +65,10 @@ type nodeSeries struct {
 
 // Monitor is the resource monitoring service: on every Sense it probes each
 // node, feeds the per-resource forecasters, and returns forecast
-// measurements. Safe for concurrent use.
+// measurements. With a Hygiene policy installed (SetHygiene) it sanitizes
+// readings, rejects outliers, tracks per-node sensor health and degrades
+// silent nodes gracefully instead of poisoning the forecasts. Safe for
+// concurrent use.
 type Monitor struct {
 	mu      sync.Mutex
 	prober  Prober
@@ -72,13 +76,16 @@ type Monitor struct {
 	senses  int
 	last    []capacity.Measurement
 	history *History
+	hygiene Hygiene
+	health  []nodeHealth
+	stats   SenseStats
 }
 
 // New builds a monitor over the prober, with one forecaster of the given
 // constructor per node per resource.
 func New(prober Prober, mkForecaster func() Forecaster) *Monitor {
 	n := prober.NumNodes()
-	m := &Monitor{prober: prober, nodes: make([]nodeSeries, n)}
+	m := &Monitor{prober: prober, nodes: make([]nodeSeries, n), health: make([]nodeHealth, n)}
 	for k := range m.nodes {
 		m.nodes[k] = nodeSeries{cpu: mkForecaster(), mem: mkForecaster(), bw: mkForecaster()}
 	}
@@ -90,23 +97,102 @@ func NewAdaptiveMonitor(prober Prober) *Monitor {
 	return New(prober, func() Forecaster { return NewAdaptive() })
 }
 
+// probeOne probes node k with panic recovery: a panicking prober is a
+// failed sensor, not a reason to crash the engine. CheckedProbers report
+// failures as errors; plain Probers only fail by panicking.
+func (m *Monitor) probeOne(k int) (meas capacity.Measurement, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			meas = capacity.Measurement{}
+			err = fmt.Errorf("%w on node %d: %v", errProbePanic, k, r)
+		}
+	}()
+	if cp, ok := m.prober.(CheckedProber); ok {
+		return cp.ProbeChecked(k)
+	}
+	return m.prober.Probe(k), nil
+}
+
+// forecastOf returns node k's standing forecast without feeding new data.
+func (m *Monitor) forecastOf(k int) capacity.Measurement {
+	return capacity.Measurement{
+		CPUAvail:      m.nodes[k].cpu.Forecast(),
+		FreeMemoryMB:  m.nodes[k].mem.Forecast(),
+		BandwidthMBps: m.nodes[k].bw.Forecast(),
+	}
+}
+
 // Sense probes every node at virtual time now, updates the forecasters and
 // returns the forecast measurements. The caller is responsible for charging
 // the probe cost to its clock (cluster.SenseTime).
+//
+// With hygiene enabled, each probe runs the gauntlet
+// sanitize → MAD-outlier-filter before reaching the forecasters; a probe
+// that fails (timeout, dropout, panic) or is rejected counts as a miss.
+// Missing nodes answer from their last forecast for StalenessBudget senses,
+// then decay toward the floor, and are masked from Alive() once Dead.
+// With hygiene disabled, probes feed the forecasters raw and failed probes
+// read as zero (the naive interpretation this PR's hygiene replaces).
 func (m *Monitor) Sense(now float64) []capacity.Measurement {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]capacity.Measurement, len(m.nodes))
 	for k := range m.nodes {
-		truth := m.prober.Probe(k)
-		m.nodes[k].cpu.Update(Sample{Time: now, Value: truth.CPUAvail})
-		m.nodes[k].mem.Update(Sample{Time: now, Value: truth.FreeMemoryMB})
-		m.nodes[k].bw.Update(Sample{Time: now, Value: truth.BandwidthMBps})
-		out[k] = capacity.Measurement{
-			CPUAvail:      m.nodes[k].cpu.Forecast(),
-			FreeMemoryMB:  m.nodes[k].mem.Forecast(),
-			BandwidthMBps: m.nodes[k].bw.Forecast(),
+		truth, err := m.probeOne(k)
+		m.stats.Probes++
+		if err != nil {
+			switch {
+			case errors.Is(err, errProbePanic):
+				m.stats.Panics++
+			case errors.Is(err, ErrProbeTimeout):
+				m.stats.Timeouts++
+			default:
+				m.stats.Drops++
+			}
 		}
+		h := &m.health[k]
+		if !m.hygiene.Enabled {
+			// Raw path: a failed probe reads as zero. Health is still
+			// tracked so a broken sensor is reportable either way.
+			if err != nil {
+				truth = capacity.Measurement{}
+				h.misses++
+			} else {
+				h.misses = 0
+			}
+			m.update(k, now, truth)
+			out[k] = m.forecastOf(k)
+			continue
+		}
+		reject := err != nil
+		if !reject && !m.hygiene.sane(truth) {
+			m.stats.Garbage++
+			reject = true
+		}
+		if !reject && (madOutlier(h.win[0], truth.CPUAvail, m.hygiene.MADK) ||
+			madOutlier(h.win[1], truth.FreeMemoryMB, m.hygiene.MADK) ||
+			madOutlier(h.win[2], truth.BandwidthMBps, m.hygiene.MADK)) {
+			m.stats.Outliers++
+			reject = true
+		}
+		if reject {
+			h.misses++
+			fc := m.forecastOf(k)
+			if h.misses <= m.hygiene.StalenessBudget {
+				m.stats.StaleFallbacks++
+				out[k] = fc
+			} else {
+				m.stats.Decays++
+				out[k] = m.hygiene.decayed(fc, h.misses-m.hygiene.StalenessBudget)
+			}
+			continue
+		}
+		h.misses = 0
+		h.win[0] = push(h.win[0], truth.CPUAvail, m.hygiene.MADWindow)
+		h.win[1] = push(h.win[1], truth.FreeMemoryMB, m.hygiene.MADWindow)
+		h.win[2] = push(h.win[2], truth.BandwidthMBps, m.hygiene.MADWindow)
+		m.update(k, now, truth)
+		out[k] = m.forecastOf(k)
 	}
 	m.senses++
 	m.last = out
@@ -114,6 +200,13 @@ func (m *Monitor) Sense(now float64) []capacity.Measurement {
 		m.history.Record(now, out)
 	}
 	return out
+}
+
+// update feeds one accepted reading into node k's forecasters.
+func (m *Monitor) update(k int, now float64, truth capacity.Measurement) {
+	m.nodes[k].cpu.Update(Sample{Time: now, Value: truth.CPUAvail})
+	m.nodes[k].mem.Update(Sample{Time: now, Value: truth.FreeMemoryMB})
+	m.nodes[k].bw.Update(Sample{Time: now, Value: truth.BandwidthMBps})
 }
 
 // Last returns the most recent Sense result (nil before the first Sense).

@@ -1,0 +1,60 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"samrpart/internal/geom"
+)
+
+// FuzzPartitionHetero drives ACEHeterogeneous with fuzzer-shaped box lists
+// and capacity vectors. Invariant: either the inputs are rejected with an
+// error, or the assignment passes Validate, carries no NaN, and its ideal
+// shares sum to the total work — never a panic, never a silently corrupt
+// assignment.
+func FuzzPartitionHetero(f *testing.F) {
+	f.Add(uint8(2), int8(0), uint8(16), uint8(8), uint8(8), 0.5, 0.3, 0.2)
+	f.Add(uint8(3), int8(-4), uint8(32), uint8(4), uint8(12), 1.0, 0.0, 0.0)
+	f.Add(uint8(1), int8(7), uint8(5), uint8(5), uint8(5), 0.25, 0.25, 0.5)
+	f.Add(uint8(4), int8(1), uint8(64), uint8(3), uint8(9), math.NaN(), 0.5, 0.5)
+	f.Fuzz(func(t *testing.T, nBoxes uint8, origin int8, sx, sy, sz uint8, c0, c1, c2 float64) {
+		n := int(nBoxes%5) + 1
+		boxes := make(geom.BoxList, 0, n)
+		for i := 0; i < n; i++ {
+			// Stagger boxes along x so they are disjoint whatever the sizes;
+			// sizes are clamped to [1, 64] to stay representable.
+			dx, dy, dz := int(sx%64)+1, int(sy%64)+1, int(sz%64)+1
+			x0 := int(origin) + i*130
+			b := geom.Box3(x0, 0, 0, x0+dx-1, dy-1, dz-1).WithLevel(i % 3)
+			boxes = append(boxes, b)
+		}
+		caps := []float64{c0, c1, c2}
+		a, err := NewHetero().Partition(boxes, caps, CellWork)
+		if err != nil {
+			if a != nil {
+				t.Fatal("error with non-nil assignment")
+			}
+			return
+		}
+		if err := a.Validate(boxes, CellWork); err != nil {
+			t.Fatalf("accepted inputs produced invalid assignment: %v", err)
+		}
+		totalIdeal, totalWork := 0.0, 0.0
+		for k := range a.Work {
+			if math.IsNaN(a.Work[k]) || math.IsNaN(a.Ideal[k]) ||
+				math.IsInf(a.Work[k], 0) || math.IsInf(a.Ideal[k], 0) {
+				t.Fatalf("non-finite work/ideal at node %d: %v/%v", k, a.Work[k], a.Ideal[k])
+			}
+			totalIdeal += a.Ideal[k]
+			totalWork += a.Work[k]
+		}
+		if totalWork > 0 && math.Abs(totalIdeal-totalWork)/totalWork > 1e-6 {
+			t.Fatalf("ideal shares sum %v != assigned work %v", totalIdeal, totalWork)
+		}
+		for i, o := range a.Owners {
+			if o < 0 || o >= len(caps) {
+				t.Fatalf("box %d owned by out-of-range node %d", i, o)
+			}
+		}
+	})
+}

@@ -186,6 +186,11 @@ func checkInputs(boxes geom.BoxList, caps []float64) error {
 	}
 	sum := 0.0
 	for k, c := range caps {
+		// NaN compares false to everything, so the sum check below would
+		// silently wave a NaN vector through; reject non-finite explicitly.
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("partition: non-finite capacity C_%d = %g", k, c)
+		}
 		if c < 0 {
 			return fmt.Errorf("partition: negative capacity C_%d = %g", k, c)
 		}

@@ -8,6 +8,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -31,11 +32,33 @@ type AssignmentRecord struct {
 	Ideal []float64
 	// Boxes is the number of output boxes.
 	Boxes int
+	// TrueCaps are the ground-truth relative capacities at the event
+	// (bypassing any sensor faults and forecasting), when the runtime can
+	// observe them; nil otherwise. They expose how far a corrupted or stale
+	// capacity estimate drove the partition from where it should be.
+	TrueCaps []float64
 }
 
 // MaxImbalance returns max_k |W_k - L_k| / L_k * 100 for the record.
 func (r AssignmentRecord) MaxImbalance() float64 {
 	return capacity.MaxImbalance(r.Work, r.Ideal)
+}
+
+// TrueMaxImbalance returns the max imbalance of the assigned work against
+// the ground-truth capacity shares (NaN when TrueCaps is unavailable). A
+// run that partitions on garbage capacities can look balanced against its
+// own believed ideal while being badly unbalanced against the truth; this
+// is the metric that exposes it.
+func (r AssignmentRecord) TrueMaxImbalance() float64 {
+	if r.TrueCaps == nil {
+		return math.NaN()
+	}
+	total := 0.0
+	for _, w := range r.Work {
+		total += w
+	}
+	ideal := capacity.Shares(r.TrueCaps, total)
+	return capacity.MaxImbalance(r.Work, ideal)
 }
 
 // RunTrace aggregates one experiment run.
@@ -62,6 +85,78 @@ type RunTrace struct {
 	// (its compute time over the step's critical path); 1.0 on every node
 	// means perfect balance.
 	Utilization []float64
+	// Repartitions counts adopted repartitions; RepartitionsSkipped counts
+	// sense-triggered repartitions the hysteresis guard suppressed.
+	Repartitions, RepartitionsSkipped int
+	// SenseFailures counts sensing sweeps whose capacity computation failed
+	// (degenerate or invalid measurements) so the engine kept the previous
+	// capacities instead.
+	SenseFailures int
+	// Sensor summarizes the monitor's sensing-hygiene counters at run end.
+	Sensor SensorHealth
+	// Degraded counts the control loop's fallback events.
+	Degraded DegradedCounters
+}
+
+// SensorHealth mirrors the monitor's sensing pipeline counters into the
+// trace (plain ints so the trace package stays independent of monitor).
+type SensorHealth struct {
+	// Probes is the number of per-node probe attempts across the run.
+	Probes int
+	// Timeouts, Drops and Panics are probes that returned no reading.
+	Timeouts, Drops, Panics int
+	// Garbage and Outliers are readings rejected by sanitization and the
+	// MAD filter respectively.
+	Garbage, Outliers int
+	// StaleFallbacks and Decays are senses answered from the last forecast
+	// and from the decayed forecast.
+	StaleFallbacks, Decays int
+	// DeadNodes is the number of nodes whose sensor was dead at run end.
+	DeadNodes int
+}
+
+// Degradations returns the total number of readings that did not flow
+// cleanly into the capacity metric.
+func (s SensorHealth) Degradations() int {
+	return s.Timeouts + s.Drops + s.Panics + s.Garbage + s.Outliers
+}
+
+// DegradedCounters records how often the repartitioning control loop had to
+// fall back instead of adopting the configured partitioner's output.
+type DegradedCounters struct {
+	// PartitionErrors counts partitioner calls that errored or produced an
+	// assignment rejected by Assignment.Validate.
+	PartitionErrors int
+	// InvalidRejected counts assignments rejected by validation alone.
+	InvalidRejected int
+	// FallbackHetero / FallbackComposite count successful recoveries via
+	// the fallback partitioners; KeptLastGood counts events where no
+	// partitioner produced a valid assignment and the previous one was
+	// retained.
+	FallbackHetero, FallbackComposite, KeptLastGood int
+}
+
+// Total returns the number of degradation events.
+func (d DegradedCounters) Total() int {
+	return d.FallbackHetero + d.FallbackComposite + d.KeptLastGood
+}
+
+// MeanTrueMaxImbalance averages the per-regrid maximum imbalance against
+// ground-truth capacities over the records that carry them (NaN if none
+// do).
+func (t *RunTrace) MeanTrueMaxImbalance() float64 {
+	sum, n := 0.0, 0
+	for _, r := range t.Records {
+		if r.TrueCaps == nil {
+			continue
+		}
+		sum += r.TrueMaxImbalance()
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
 }
 
 // MeanUtilization averages the per-node utilization.

@@ -59,6 +59,8 @@ func main() {
 			"enable sensing hygiene (health tracking, sanitization, MAD outlier rejection, staleness decay)")
 		repartThresh = flag.Float64("repartition-threshold", 0,
 			"skip sense-triggered repartitions that improve max-imbalance by less than this many percentage points (0 = always repartition)")
+		affinityRemap = flag.Bool("affinity-remap", false,
+			"relabel repartition output toward the previous owners (partition.RemapOwners) to cut migration volume at unchanged balance")
 	)
 	flag.Parse()
 
@@ -197,6 +199,7 @@ func main() {
 		SensorFaults:         sensorFaults,
 		Hygiene:              hygieneConfig(*hygiene),
 		RepartitionThreshold: *repartThresh,
+		AffinityRemap:        *affinityRemap,
 	}, clus)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amrun:", err)
@@ -221,8 +224,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(tr.Summary())
-	fmt.Printf("mean node utilization: %.0f%%, redistributed %.1f MB\n",
-		tr.MeanUtilization()*100, tr.MovedBytes/1e6)
+	fmt.Printf("mean node utilization: %.0f%%, redistributed %.1f MB (%.1f MB retained in place)\n",
+		tr.MeanUtilization()*100, tr.MovedBytes/1e6, tr.RetainedBytes/1e6)
 	if sensorFaults != nil || *hygiene || *repartThresh > 0 {
 		fmt.Printf("sensing: %d probes, %d degraded (%d timeouts, %d drops, %d garbage, %d outliers), %d dead sensors\n",
 			tr.Sensor.Probes, tr.Sensor.Degradations(), tr.Sensor.Timeouts,

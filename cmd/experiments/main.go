@@ -38,6 +38,7 @@ func main() {
 		faultExp  = flag.Bool("fault", false, "fault study: node crash on the virtual cluster + SPMD rank recovery")
 		faultStr  = flag.String("fault-spec", "crash:rank=2,iter=10", "crash injected by -fault, e.g. crash:rank=2,iter=10")
 		sensorExp = flag.Bool("sensorfault", false, "degraded-sensing study: static vs naive vs hygienic adaptive under sensor faults")
+		movement  = flag.Bool("movement", false, "migration-cost study: repartitioning with and without the owner-affinity remap")
 		sensorStr = flag.String("sensor-fault-spec", "",
 			"sensor faults for -sensorfault (default: the study's built-in spec), e.g. sensor:seed=7,frac=0.25,garbage=0.3")
 		repartThresh = flag.Float64("repartition-threshold", 0,
@@ -47,7 +48,7 @@ func main() {
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
-	if !(*all || *fig7 || *fig8 || *fig11 || *table2 || *table3 || *ablations || *scaling || *faultExp || *sensorExp) {
+	if !(*all || *fig7 || *fig8 || *fig11 || *table2 || *table3 || *ablations || *scaling || *faultExp || *sensorExp || *movement) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -114,6 +115,7 @@ func main() {
 		{*all || *ablations, "Ablation: weights under memory pressure", func() (renderable, error) { return exp.AblationMemoryWeights() }},
 		{*all || *faultExp, "Fault recovery", func() (renderable, error) { return exp.FaultRecovery(16, fault.Rank, fault.Iter) }},
 		{*all || *sensorExp, "Degraded sensing", func() (renderable, error) { return exp.SensorFaults(40, sensorSpec, *repartThresh) }},
+		{*all || *movement, "Migration cost", func() (renderable, error) { return exp.Movement(16) }},
 		{*all || *scaling, "Strong scaling", func() (renderable, error) { return exp.Scalability() }},
 		{*all || *scaling, "Heterogeneity sweep", func() (renderable, error) { return exp.HeterogeneitySweep() }},
 		{*all || *scaling, "Mixed hardware", func() (renderable, error) { return exp.MixedHardware() }},

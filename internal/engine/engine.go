@@ -70,6 +70,11 @@ type Config struct {
 	// outlier rejection, health tracking, staleness decay). The zero value
 	// disables it, preserving the raw pre-hygiene behaviour bit for bit.
 	Hygiene monitor.Hygiene
+	// AffinityRemap relabels each adopted assignment's ownership groups
+	// (partition.RemapOwners) so they land on the nodes already holding
+	// most of their cells, shrinking redistribution volume without changing
+	// the partition's balance.
+	AffinityRemap bool
 	// RepartitionThreshold is the control loop's hysteresis bound in
 	// imbalance percentage points: a sense-triggered repartition is only
 	// adopted when it improves the predicted max-imbalance by more than
@@ -302,6 +307,13 @@ func (e *Engine) repartition(iter int, maySkip bool) error {
 	}
 	boxes := e.hier.AllBoxes()
 	assign, err := e.partitionValidated(boxes)
+	if err == nil && e.cfg.AffinityRemap && e.assign != nil {
+		// Movement-aware relabeling: keep each ownership group on the node
+		// already holding most of its cells. Balance is preserved (the remap
+		// never exceeds the unmapped max imbalance), so the hysteresis
+		// comparison below still sees the partitioner's quality.
+		assign = partition.RemapOwners(e.assign, assign)
+	}
 	if err != nil {
 		// Degradation floor: ride the last valid assignment when the box
 		// list is unchanged (sense-triggered repartitions); a regrid has no
@@ -333,7 +345,8 @@ func (e *Engine) repartition(iter int, maySkip bool) error {
 func (e *Engine) adopt(iter int, assign *partition.Assignment, chargeRegrid bool) error {
 	// Redistribution cost: cells whose owner changed move over the wire.
 	if e.assign != nil {
-		moved := movedBytes(e.assign, assign, e.cfg.App.BytesPerCell(), e.clus.NumNodes())
+		moved, retained := movedBytes(e.assign, assign, e.cfg.App.BytesPerCell(), e.clus.NumNodes())
+		e.tr.RetainedBytes += retained
 		maxT := 0.0
 		for k, bytes := range moved {
 			if bytes == 0 {
@@ -368,22 +381,30 @@ func (e *Engine) adopt(iter int, assign *partition.Assignment, chargeRegrid bool
 }
 
 // movedBytes returns, per destination node, the bytes that change owner
-// between two assignments.
-func movedBytes(old, new *partition.Assignment, bytesPerCell float64, nodes int) []float64 {
+// between two assignments, plus the total bytes that stay put (same owner on
+// both sides of the repartition).
+func movedBytes(old, new *partition.Assignment, bytesPerCell float64, nodes int) ([]float64, float64) {
 	out := make([]float64, nodes)
+	retained := 0.0
+	idx := geom.NewIndex(old.Boxes)
+	var hits []int
 	for i, nb := range new.Boxes {
 		newOwner := new.Owners[i]
-		for j, ob := range old.Boxes {
-			if ob.Level != nb.Level || old.Owners[j] == newOwner {
+		hits = idx.Query(nb, hits)
+		for _, j := range hits {
+			ob := old.Boxes[j]
+			if ob.Level != nb.Level {
 				continue
 			}
-			overlap := nb.Intersect(ob)
-			if !overlap.Empty() {
-				out[newOwner] += float64(overlap.Cells()) * bytesPerCell
+			bytes := float64(nb.Intersect(ob).Cells()) * bytesPerCell
+			if old.Owners[j] == newOwner {
+				retained += bytes
+			} else {
+				out[newOwner] += bytes
 			}
 		}
 	}
-	return out
+	return out, retained
 }
 
 // stepCost computes the virtual-time cost of one coarse iteration under the
@@ -434,6 +455,7 @@ func (e *Engine) stepCost() (compute, comm float64, perNode []float64) {
 	}
 	perNode = e.costPerNode[:nodes]
 	for k := 0; k < nodes; k++ {
+		e.tr.MsgsSent += int64(msgs[k])
 		c := e.clus.ComputeTimeMem(k, flops[k]/1e6, resident[k])
 		perNode[k] = c
 		if c > compute {

@@ -294,14 +294,20 @@ func TestMovedBytes(t *testing.T) {
 		Work:   []float64{0, 128},
 		Ideal:  []float64{64, 64},
 	}
-	moved := movedBytes(old, nw, 8, 2)
+	moved, retained := movedBytes(old, nw, 8, 2)
 	if moved[0] != 0 || moved[1] != 64*8 {
 		t.Errorf("moved = %v", moved)
 	}
-	// No movement: zero bytes.
-	same := movedBytes(old, old, 8, 2)
+	if retained != 64*8 { // b2 stayed on node 1
+		t.Errorf("retained = %v, want %v", retained, 64*8)
+	}
+	// No movement: zero bytes moved, everything retained.
+	same, kept := movedBytes(old, old, 8, 2)
 	if same[0] != 0 || same[1] != 0 {
 		t.Errorf("no-op move = %v", same)
+	}
+	if kept != 128*8 {
+		t.Errorf("no-op retained = %v, want %v", kept, 128*8)
 	}
 }
 

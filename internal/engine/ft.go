@@ -123,6 +123,9 @@ type spmdRun struct {
 	plan    *ghostPlan
 	patches map[geom.Box]*amr.Patch
 	spares  map[geom.Box]*amr.Patch
+	// sc pools the communication buffers across steps, plan rebuilds and
+	// redistributions (see commScratch).
+	sc commScratch
 
 	// stable is the restore point every participant agreed on at the last
 	// clean heartbeat: the minimum durable checkpoint advertised by ALL
@@ -236,7 +239,7 @@ func (r *spmdRun) setup(iter int) error {
 		return err
 	}
 	r.assign = asn
-	r.plan = buildGhostPlan(asn, r.me(), k.Ghost(), r.prefix())
+	r.plan = buildGhostPlan(asn, r.me(), k.Ghost(), r.prefix(), r.cfg.PerPairExchange, &r.sc)
 	r.spares = map[geom.Box]*amr.Patch{}
 	r.lastPart = iter
 	if iter == 0 {
@@ -501,12 +504,19 @@ func (r *spmdRun) step(iter int) error {
 		if err != nil {
 			return err
 		}
-		r.patches, err = redistribute(r.ep, r.assign, newAssign, r.patches, k, iter, r.res, r.prefix())
+		// Movement-aware relabeling. PartitionAlive is computed locally and
+		// deterministically on every rank, and RemapOwners is a pure function
+		// of two assignments, so every rank derives the same labels without a
+		// broadcast.
+		if !cfg.NoAffinityRemap {
+			newAssign = partition.RemapOwners(r.assign, newAssign)
+		}
+		r.patches, err = redistribute(r.ep, r.assign, newAssign, r.patches, k, iter, r.res, r.prefix(), cfg.PerPairExchange, &r.sc)
 		if err != nil {
 			return err
 		}
 		r.assign = newAssign
-		r.plan = buildGhostPlan(newAssign, r.me(), k.Ghost(), r.prefix())
+		r.plan = buildGhostPlan(newAssign, r.me(), k.Ghost(), r.prefix(), cfg.PerPairExchange, &r.sc)
 		clear(r.spares)
 		r.lastPart = iter
 		r.res.Repartitions++
@@ -535,7 +545,7 @@ func (r *spmdRun) step(iter int) error {
 		stepPatch(k, cfg.BaseGrid, r.patches, r.spares, b, dt)
 		r.res.InteriorSteps++
 	}
-	if err := r.plan.finishRecvs(r.ep, r.patches); err != nil {
+	if err := r.plan.finishRecvs(r.ep, r.patches, r.res); err != nil {
 		return err
 	}
 	for _, b := range r.plan.boundary {

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"samrpart/internal/amr"
@@ -44,6 +45,16 @@ type SPMDConfig struct {
 	// those inside collectives) so a silently-dead peer surfaces as
 	// transport.ErrRankDown instead of a hang. 0 selects DefaultRecvDeadline.
 	RecvDeadline time.Duration
+	// PerPairExchange restores the legacy one-message-per-box-pair halo
+	// exchange and migration paths instead of the coalesced
+	// one-message-per-peer-rank frames. Both modes are bit-exact; the
+	// per-pair path survives as a debug fallback and oracle for the
+	// coalesced protocol.
+	PerPairExchange bool
+	// NoAffinityRemap disables the movement-aware owner relabeling
+	// (partition.RemapOwners) applied after each scheduled repartition, so
+	// experiments can measure the migration volume it saves.
+	NoAffinityRemap bool
 	// FT enables heartbeat failure detection and checkpoint-based recovery.
 	FT FTConfig
 	// Fault, when non-nil, injects a deterministic rank crash: the matching
@@ -60,6 +71,19 @@ type SPMDResult struct {
 	L1Sum float64
 	// BytesSent counts transport payload bytes this rank sent.
 	BytesSent int64
+	// MsgsSent and MsgsRecvd count the point-to-point data-plane messages
+	// this rank exchanged (halo regions and migration payloads; control
+	// broadcasts and dt/heartbeat collectives are excluded). Under the
+	// coalesced exchange MsgsSent is exactly one per communicating rank pair
+	// per iteration.
+	MsgsSent  int64
+	MsgsRecvd int64
+	// MigratedBytes counts patch payload bytes this rank shipped to other
+	// ranks during redistributions; RetainedBytes counts the payload bytes
+	// repartitions let it keep in place. Together they expose the movement
+	// cost of adapting the partition.
+	MigratedBytes int64
+	RetainedBytes int64
 	// Repartitions counts how many times ownership changed hands.
 	Repartitions int
 	// InteriorSteps counts patch steps taken while remote halo data was
@@ -175,7 +199,7 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 	// --- Initial partition (computed identically on every rank; tiles and
 	// capacities are deterministic, so no broadcast is strictly needed,
 	// but rank 0 broadcasts to guarantee agreement).
-	assign, err := cfg.partitionAt(ep, 0, res)
+	assign, err := cfg.partitionAt(ep, 0, nil, res)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +213,10 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 		k.Init(p, cfg.BaseGrid)
 		patches[b] = p
 	}
-	plan := buildGhostPlan(assign, ep.Rank(), k.Ghost(), "")
+	// sc pools the communication buffers across the whole run: ghost
+	// exchange, migration, and every plan rebuild share them.
+	var sc commScratch
+	plan := buildGhostPlan(assign, ep.Rank(), k.Ghost(), "", cfg.PerPairExchange, &sc)
 	// spares double-buffer the per-box patches: each step writes into the
 	// box's spare and retires the current patch, so the steady-state loop
 	// allocates no patch storage.
@@ -205,16 +232,16 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 		}
 		// Repartition on schedule.
 		if cfg.RepartEvery > 0 && iter > 0 && iter%cfg.RepartEvery == 0 {
-			newAssign, err := cfg.partitionAt(ep, iter, res)
+			newAssign, err := cfg.partitionAt(ep, iter, assign, res)
 			if err != nil {
 				return nil, err
 			}
-			patches, err = redistribute(ep, assign, newAssign, patches, k, iter, res, "")
+			patches, err = redistribute(ep, assign, newAssign, patches, k, iter, res, "", cfg.PerPairExchange, &sc)
 			if err != nil {
 				return nil, err
 			}
 			assign = newAssign
-			plan = buildGhostPlan(assign, ep.Rank(), k.Ghost(), "")
+			plan = buildGhostPlan(assign, ep.Rank(), k.Ghost(), "", cfg.PerPairExchange, &sc)
 			clear(spares) // ownership changed; retired buffers are stale
 			res.Repartitions++
 		}
@@ -250,7 +277,7 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 		}
 		// Ghost exchange, phase 2: block on the remote regions, then
 		// finish the boundary patches.
-		if err := plan.finishRecvs(ep, patches); err != nil {
+		if err := plan.finishRecvs(ep, patches, res); err != nil {
 			return nil, err
 		}
 		for _, b := range plan.boundary {
@@ -290,14 +317,20 @@ func stepPatch(k solver.Kernel, g solver.Grid, patches, spares map[geom.Box]*amr
 }
 
 // partitionAt computes capacities and the assignment for an iteration; rank
-// 0 broadcasts the result so every rank uses identical ownership.
-func (c SPMDConfig) partitionAt(ep transport.Endpoint, iter int, res *SPMDResult) (*partition.Assignment, error) {
+// 0 broadcasts the result so every rank uses identical ownership. prev, when
+// non-nil, enables the movement-aware owner relabeling against the standing
+// assignment; it must run on rank 0 before the broadcast because only rank 0
+// holds the partitioner's Ideal vector.
+func (c SPMDConfig) partitionAt(ep transport.Endpoint, iter int, prev *partition.Assignment, res *SPMDResult) (*partition.Assignment, error) {
 	var wire wireAssignment
 	if ep.Rank() == 0 {
 		caps := c.CapsAt(iter)
 		a, err := c.Partitioner.Partition(c.tiles(), caps, partition.CellWork)
 		if err != nil {
 			return nil, err
+		}
+		if prev != nil && !c.NoAffinityRemap {
+			a = partition.RemapOwners(prev, a)
 		}
 		wire = wireAssignment{Boxes: a.Boxes, Owners: a.Owners}
 	}
@@ -335,7 +368,12 @@ func extract(p *amr.Patch, region geom.Box) []float64 {
 // extractInto is extract writing into dst's capacity (dst is truncated
 // first), so steady-state callers can reuse one scratch slice.
 func extractInto(dst []float64, p *amr.Patch, region geom.Box) []float64 {
-	dst = dst[:0]
+	return extractAppend(dst[:0], p, region)
+}
+
+// extractAppend appends region's values (all fields) to dst, for packing
+// several regions into one coalesced buffer.
+func extractAppend(dst []float64, p *amr.Patch, region geom.Box) []float64 {
 	for f := 0; f < p.NumFields; f++ {
 		forEachCell(region, func(pt geom.Point) {
 			dst = append(dst, p.At(f, pt))
@@ -360,77 +398,159 @@ func apply(p *amr.Patch, region geom.Box, data []float64) error {
 	return nil
 }
 
+// commScratch pools one rank's communication buffers: pack/unpack scratch
+// shared by the halo exchange, the migration path, and plan rebuilds, so the
+// steady-state loop and repeated repartitions allocate nothing for
+// communication. The receive-side buffers are separate twins because a
+// coalesced receive may decode while the send-side buffers still hold the
+// frame being packed.
+type commScratch struct {
+	floats  []float64
+	bytes   []byte
+	regions []transport.FrameRegion
+
+	rfloats  []float64
+	rregions []transport.FrameRegion
+
+	// query is the spatial-index result scratch for plan building and
+	// redistribution.
+	query []int
+}
+
 // ghostSend is one outgoing remote halo region: src is the owned source
-// patch, region the clipped cells inside the receiver's halo.
+// patch, region the clipped cells inside the receiver's halo. dstIdx/srcIdx
+// are the boxes' global indexes in the shared assignment — the coalesced
+// frame headers that let the receiver validate region order.
 type ghostSend struct {
-	src    geom.Box
-	region geom.Box
-	to     int
-	tag    string
+	dstIdx, srcIdx int
+	src            geom.Box
+	region         geom.Box
+	to             int
+	tag            string
 }
 
 // ghostRecv is one incoming remote halo region for owned patch dst.
 type ghostRecv struct {
-	dst    geom.Box
-	region geom.Box
-	from   int
+	dstIdx, srcIdx int
+	dst            geom.Box
+	region         geom.Box
+	from           int
+	tag            string
+}
+
+// peerSpan is a contiguous run of plan entries sharing one peer rank; in
+// coalesced mode the whole run travels as a single framed message under tag.
+type peerSpan struct {
+	rank   int
+	lo, hi int
 	tag    string
 }
 
 // ghostPlan is one rank's precomputed per-iteration halo exchange for a
-// fixed assignment: remote sends and receives, same-rank overlap copy
-// pairs, and the owned boxes classified as interior (halo fully local — can
-// step while remote data is in flight) vs boundary (must wait for at least
-// one receive). Building the plan once per assignment replaces the old
-// O(boxes²) pair scan and per-iteration tag formatting in the step loop.
+// fixed assignment: remote sends and receives (sorted by peer rank, then by
+// global (dst, src) box index so sender and receiver agree on frame region
+// order), same-rank overlap copy pairs, and the owned boxes classified as
+// interior (halo fully local — can step while remote data is in flight) vs
+// boundary (must wait for at least one receive).
 //
-// Tags are fixed per (dst, src) box pair with no iteration suffix: the
-// transport inbox is FIFO per (from, tag) and each pair carries exactly one
-// message per iteration, so a rank running ahead simply queues behind the
-// receiver's earlier iteration.
+// In the default coalesced mode every peer rank exchanges exactly ONE framed
+// message per iteration under a fixed per-epoch tag: the transport inbox is
+// FIFO per (from, tag), so a rank running ahead simply queues behind the
+// receiver's earlier iteration. The per-pair mode keeps one message and one
+// fixed tag per (dst, src) box pair, with the same FIFO argument.
 type ghostPlan struct {
-	sends    []ghostSend
-	recvs    []ghostRecv
-	locals   [][2]geom.Box // (dst, src) owned pairs whose halos overlap
-	interior []geom.Box
-	boundary []geom.Box
-	// Scratch reused every iteration so the steady-state exchange allocates
-	// nothing on the send side (Send permits reuse as soon as it returns).
-	floatBuf []float64
-	byteBuf  []byte
+	perPair   bool
+	sends     []ghostSend
+	recvs     []ghostRecv
+	sendPeers []peerSpan
+	recvPeers []peerSpan
+	locals    [][2]geom.Box // (dst, src) owned pairs whose halos overlap
+	interior  []geom.Box
+	boundary  []geom.Box
+	sc        *commScratch
 }
 
 // buildGhostPlan derives rank me's exchange plan from an assignment. prefix
 // namespaces the tags: fault-tolerant runs pass an epoch prefix so messages
-// from a rolled-back execution cannot collide with the replay.
-func buildGhostPlan(a *partition.Assignment, me, ghost int, prefix string) *ghostPlan {
-	pl := &ghostPlan{}
+// from a rolled-back execution cannot collide with the replay. The plan
+// visits only me's boxes and finds their neighbors through a uniform-grid
+// index, replacing the previous all-pairs O(boxes²) scan; growing by the
+// ghost width is symmetric (grown(a) meets b iff grown(b) meets a), so one
+// pass yields sends, receives, and local copies alike.
+func buildGhostPlan(a *partition.Assignment, me, ghost int, prefix string, perPair bool, sc *commScratch) *ghostPlan {
+	if sc == nil {
+		sc = &commScratch{}
+	}
+	pl := &ghostPlan{perPair: perPair, sc: sc}
+	idx := geom.NewIndex(a.Boxes)
 	needsRemote := map[geom.Box]bool{}
+	hits := sc.query
 	for i, bi := range a.Boxes {
-		oi := a.Owners[i]
-		grown := bi.Grow(ghost)
-		for j, bj := range a.Boxes {
-			if i == j {
-				continue
-			}
-			region := grown.Intersect(bj)
-			if region.Empty() {
-				continue
-			}
-			oj := a.Owners[j]
-			tag := fmt.Sprintf("%sg%d-%d", prefix, i, j)
-			switch {
-			case oi == oj:
-				if oi == me {
-					pl.locals = append(pl.locals, [2]geom.Box{bi, bj})
-				}
-			case oj == me: // I own the source: send region values.
-				pl.sends = append(pl.sends, ghostSend{src: bj, region: region, to: oi, tag: tag})
-			case oi == me: // I own the destination: receive.
-				pl.recvs = append(pl.recvs, ghostRecv{dst: bi, region: region, from: oj, tag: tag})
-				needsRemote[bi] = true
-			}
+		if a.Owners[i] != me {
+			continue
 		}
+		grown := bi.Grow(ghost)
+		hits = idx.Query(grown, hits)
+		for _, j := range hits {
+			if j == i {
+				continue
+			}
+			bj := a.Boxes[j]
+			oj := a.Owners[j]
+			if oj == me {
+				pl.locals = append(pl.locals, [2]geom.Box{bi, bj})
+				continue
+			}
+			// bj's owner sends me my halo cells grown(bi)∩bj ...
+			pl.recvs = append(pl.recvs, ghostRecv{
+				dstIdx: i, srcIdx: j, dst: bi, region: grown.Intersect(bj),
+				from: oj, tag: fmt.Sprintf("%sg%d-%d", prefix, i, j),
+			})
+			needsRemote[bi] = true
+			// ... and symmetrically I feed bj's halo from bi.
+			pl.sends = append(pl.sends, ghostSend{
+				dstIdx: j, srcIdx: i, src: bi, region: bj.Grow(ghost).Intersect(bi),
+				to: oj, tag: fmt.Sprintf("%sg%d-%d", prefix, j, i),
+			})
+		}
+	}
+	sc.query = hits
+	sort.Slice(pl.sends, func(x, y int) bool {
+		sx, sy := &pl.sends[x], &pl.sends[y]
+		if sx.to != sy.to {
+			return sx.to < sy.to
+		}
+		if sx.dstIdx != sy.dstIdx {
+			return sx.dstIdx < sy.dstIdx
+		}
+		return sx.srcIdx < sy.srcIdx
+	})
+	sort.Slice(pl.recvs, func(x, y int) bool {
+		rx, ry := &pl.recvs[x], &pl.recvs[y]
+		if rx.from != ry.from {
+			return rx.from < ry.from
+		}
+		if rx.dstIdx != ry.dstIdx {
+			return rx.dstIdx < ry.dstIdx
+		}
+		return rx.srcIdx < ry.srcIdx
+	})
+	coalescedTag := prefix + "gx"
+	for lo := 0; lo < len(pl.sends); {
+		hi := lo
+		for hi < len(pl.sends) && pl.sends[hi].to == pl.sends[lo].to {
+			hi++
+		}
+		pl.sendPeers = append(pl.sendPeers, peerSpan{rank: pl.sends[lo].to, lo: lo, hi: hi, tag: coalescedTag})
+		lo = hi
+	}
+	for lo := 0; lo < len(pl.recvs); {
+		hi := lo
+		for hi < len(pl.recvs) && pl.recvs[hi].from == pl.recvs[lo].from {
+			hi++
+		}
+		pl.recvPeers = append(pl.recvPeers, peerSpan{rank: pl.recvs[lo].from, lo: lo, hi: hi, tag: coalescedTag})
+		lo = hi
 	}
 	for i, b := range a.Boxes {
 		if a.Owners[i] != me {
@@ -445,10 +565,38 @@ func buildGhostPlan(a *partition.Assignment, me, ghost int, prefix string) *ghos
 	return pl
 }
 
+// frameRegion builds the wire header for one packed region.
+func frameRegion(dstIdx, srcIdx int, region geom.Box, count int) transport.FrameRegion {
+	fr := transport.FrameRegion{Dst: uint32(dstIdx), Src: uint32(srcIdx), Count: uint32(count)}
+	for d := 0; d < geom.MaxDim; d++ {
+		fr.Lo[d] = int32(region.Lo[d])
+		fr.Hi[d] = int32(region.Hi[d])
+	}
+	return fr
+}
+
+// checkFrameRegion validates a received frame header against the entry the
+// local plan expects at that position, so a sender/receiver plan desync
+// fails loudly instead of applying data to the wrong cells.
+func checkFrameRegion(fr transport.FrameRegion, dstIdx, srcIdx int, region geom.Box) error {
+	if int(fr.Dst) != dstIdx || int(fr.Src) != srcIdx {
+		return fmt.Errorf("engine: frame region (box %d <- %d) does not match plan (box %d <- %d)",
+			fr.Dst, fr.Src, dstIdx, srcIdx)
+	}
+	for d := 0; d < geom.MaxDim; d++ {
+		if int(fr.Lo[d]) != region.Lo[d] || int(fr.Hi[d]) != region.Hi[d] {
+			return fmt.Errorf("engine: frame region (box %d <- %d) bounds %v..%v do not match plan %v",
+				fr.Dst, fr.Src, fr.Lo, fr.Hi, region)
+		}
+	}
+	return nil
+}
+
 // postSends runs the non-blocking half of the halo exchange: outflow
 // fallback over every owned halo, remote region sends, and same-rank copies.
 // After it returns, every interior-class patch has a complete halo; boundary
-// patches still await finishRecvs.
+// patches still await finishRecvs. In coalesced mode all regions bound for
+// one peer leave as a single framed message.
 func (pl *ghostPlan) postSends(ep transport.Endpoint, patches map[geom.Box]*amr.Patch, res *SPMDResult) error {
 	for _, b := range pl.interior {
 		solver.ApplyOutflowBC(patches[b])
@@ -456,13 +604,33 @@ func (pl *ghostPlan) postSends(ep transport.Endpoint, patches map[geom.Box]*amr.
 	for _, b := range pl.boundary {
 		solver.ApplyOutflowBC(patches[b])
 	}
-	for _, s := range pl.sends {
-		pl.floatBuf = extractInto(pl.floatBuf, patches[s.src], s.region)
-		pl.byteBuf = transport.AppendFloats(pl.byteBuf[:0], pl.floatBuf)
-		if err := ep.Send(s.to, s.tag, pl.byteBuf); err != nil {
-			return err
+	sc := pl.sc
+	if pl.perPair {
+		for _, s := range pl.sends {
+			sc.floats = extractInto(sc.floats, patches[s.src], s.region)
+			sc.bytes = transport.AppendFloats(sc.bytes[:0], sc.floats)
+			if err := ep.Send(s.to, s.tag, sc.bytes); err != nil {
+				return err
+			}
+			res.BytesSent += int64(len(sc.bytes))
+			res.MsgsSent++
 		}
-		res.BytesSent += int64(len(pl.byteBuf))
+	} else {
+		for _, span := range pl.sendPeers {
+			sc.floats = sc.floats[:0]
+			sc.regions = sc.regions[:0]
+			for _, s := range pl.sends[span.lo:span.hi] {
+				n0 := len(sc.floats)
+				sc.floats = extractAppend(sc.floats, patches[s.src], s.region)
+				sc.regions = append(sc.regions, frameRegion(s.dstIdx, s.srcIdx, s.region, len(sc.floats)-n0))
+			}
+			sc.bytes = transport.AppendFrame(sc.bytes[:0], sc.regions, sc.floats)
+			if err := ep.Send(span.rank, span.tag, sc.bytes); err != nil {
+				return err
+			}
+			res.BytesSent += int64(len(sc.bytes))
+			res.MsgsSent++
+		}
 	}
 	for _, pair := range pl.locals {
 		amr.CopyOverlap(patches[pair[0]], patches[pair[1]])
@@ -472,86 +640,217 @@ func (pl *ghostPlan) postSends(ep transport.Endpoint, patches map[geom.Box]*amr.
 
 // finishRecvs blocks until every remote halo region has arrived and applies
 // them; boundary patches are complete afterwards. Regions from distinct
-// sources are disjoint, so apply order cannot affect the result.
-func (pl *ghostPlan) finishRecvs(ep transport.Endpoint, patches map[geom.Box]*amr.Patch) error {
-	for _, r := range pl.recvs {
-		payload, err := ep.Recv(r.from, r.tag)
+// sources are disjoint, so apply order cannot affect the result. Coalesced
+// frames are validated region by region against the plan.
+func (pl *ghostPlan) finishRecvs(ep transport.Endpoint, patches map[geom.Box]*amr.Patch, res *SPMDResult) error {
+	sc := pl.sc
+	if pl.perPair {
+		for _, r := range pl.recvs {
+			payload, err := ep.Recv(r.from, r.tag)
+			if err != nil {
+				return err
+			}
+			res.MsgsRecvd++
+			sc.rfloats, err = transport.DecodeFloats(payload, sc.rfloats)
+			if err != nil {
+				return err
+			}
+			if err := apply(patches[r.dst], r.region, sc.rfloats); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, span := range pl.recvPeers {
+		payload, err := ep.Recv(span.rank, span.tag)
 		if err != nil {
 			return err
 		}
-		data, err := transport.DecodeFloats(payload, pl.floatBuf)
+		res.MsgsRecvd++
+		sc.rregions, sc.rfloats, err = transport.DecodeFrame(payload, sc.rregions, sc.rfloats)
 		if err != nil {
 			return err
 		}
-		pl.floatBuf = data
-		if err := apply(patches[r.dst], r.region, data); err != nil {
-			return err
+		if len(sc.rregions) != span.hi-span.lo {
+			return fmt.Errorf("engine: rank %d sent %d halo regions, plan expects %d",
+				span.rank, len(sc.rregions), span.hi-span.lo)
+		}
+		off := 0
+		for i, r := range pl.recvs[span.lo:span.hi] {
+			fr := sc.rregions[i]
+			if err := checkFrameRegion(fr, r.dstIdx, r.srcIdx, r.region); err != nil {
+				return err
+			}
+			n := int(fr.Count)
+			if err := apply(patches[r.dst], r.region, sc.rfloats[off:off+n]); err != nil {
+				return err
+			}
+			off += n
 		}
 	}
 	return nil
 }
 
+// migRegion is one region of patch data changing hands in a redistribution.
+type migRegion struct {
+	dstIdx, srcIdx int
+	dst, src       geom.Box
+	region         geom.Box
+	peer           int
+}
+
 // redistribute moves patch interiors to their new owners after a
 // repartition. New-assignment boxes may be split differently than the old
-// ones, so transfers are per overlapping (old, new) pair.
-func redistribute(ep transport.Endpoint, old, new_ *partition.Assignment, patches map[geom.Box]*amr.Patch, k solver.Kernel, iter int, res *SPMDResult, prefix string) (map[geom.Box]*amr.Patch, error) {
+// ones, so transfers cover every overlapping (old, new) pair — found through
+// a uniform-grid index over the old boxes rather than the previous
+// O(old×new) scan. A box whose geometry and owner both survive keeps its
+// patch untouched (its halo is stale, but every halo cell is rewritten by
+// the next exchange before use, the same argument that lets stepPatch reuse
+// spares). In coalesced mode all regions bound for one peer travel as a
+// single framed message; the per-pair mode keeps one message per overlap.
+func redistribute(ep transport.Endpoint, old, next *partition.Assignment, patches map[geom.Box]*amr.Patch, k solver.Kernel, iter int, res *SPMDResult, prefix string, perPair bool, sc *commScratch) (map[geom.Box]*amr.Patch, error) {
+	if sc == nil {
+		sc = &commScratch{}
+	}
 	me := ep.Rank()
-	next := map[geom.Box]*amr.Patch{}
-	// Allocate new owned patches.
-	for i, b := range new_.Boxes {
-		if new_.Owners[i] == me {
-			next[b] = amr.NewPatch(b, k.Ghost(), k.NumFields())
-		}
-	}
-	type pending struct {
-		dst    geom.Box
-		region geom.Box
-		from   int
-		tag    string
-	}
-	var recvs []pending
-	for i, nb := range new_.Boxes {
-		no := new_.Owners[i]
-		for j, ob := range old.Boxes {
+	out := make(map[geom.Box]*amr.Patch, len(patches))
+	bytesPerCell := int64(k.NumFields()) * 8
+	idx := geom.NewIndex(old.Boxes)
+	var sends, recvs []migRegion
+	hits := sc.query
+	for i, nb := range next.Boxes {
+		no := next.Owners[i]
+		hits = idx.Query(nb, hits)
+		for _, j := range hits {
+			ob := old.Boxes[j]
 			oo := old.Owners[j]
 			region := nb.Intersect(ob)
-			if region.Empty() {
-				continue
-			}
-			if oo == no {
-				if no == me {
-					// Local copy.
-					if err := apply(next[nb], region, extract(patches[ob], region)); err != nil {
-						return nil, err
-					}
+			switch {
+			case oo == no:
+				if no != me {
+					continue
 				}
-				continue
-			}
-			tag := fmt.Sprintf("%sr%d-%d-%d", prefix, iter, i, j)
-			switch me {
-			case oo:
-				payload := transport.EncodeFloats(extract(patches[ob], region))
-				if err := ep.Send(no, tag, payload); err != nil {
+				res.RetainedBytes += region.Cells() * bytesPerCell
+				if nb.Equal(ob) {
+					out[nb] = patches[ob]
+					continue
+				}
+				p := out[nb]
+				if p == nil {
+					p = amr.NewPatch(nb, k.Ghost(), k.NumFields())
+					out[nb] = p
+				}
+				sc.floats = extractInto(sc.floats, patches[ob], region)
+				if err := apply(p, region, sc.floats); err != nil {
 					return nil, err
 				}
-				res.BytesSent += int64(len(payload))
-			case no:
-				recvs = append(recvs, pending{dst: nb, region: region, from: oo, tag: tag})
+			case oo == me: // I hold the data; its new owner is elsewhere.
+				sends = append(sends, migRegion{dstIdx: i, srcIdx: j, src: ob, region: region, peer: no})
+			case no == me: // Data migrates in.
+				if out[nb] == nil {
+					out[nb] = amr.NewPatch(nb, k.Ghost(), k.NumFields())
+				}
+				recvs = append(recvs, migRegion{dstIdx: i, srcIdx: j, dst: nb, region: region, peer: oo})
 			}
 		}
 	}
-	for _, r := range recvs {
-		payload, err := ep.Recv(r.from, r.tag)
-		if err != nil {
-			return nil, err
-		}
-		data, err := transport.DecodeFloats(payload, nil)
-		if err != nil {
-			return nil, err
-		}
-		if err := apply(next[r.dst], r.region, data); err != nil {
-			return nil, err
-		}
+	sc.query = hits
+	sortMig := func(ms []migRegion) {
+		sort.Slice(ms, func(x, y int) bool {
+			a, b := &ms[x], &ms[y]
+			if a.peer != b.peer {
+				return a.peer < b.peer
+			}
+			if a.dstIdx != b.dstIdx {
+				return a.dstIdx < b.dstIdx
+			}
+			return a.srcIdx < b.srcIdx
+		})
 	}
-	return next, nil
+	sortMig(sends)
+	sortMig(recvs)
+	if perPair {
+		for _, m := range sends {
+			tag := fmt.Sprintf("%sr%d-%d-%d", prefix, iter, m.dstIdx, m.srcIdx)
+			sc.floats = extractInto(sc.floats, patches[m.src], m.region)
+			sc.bytes = transport.AppendFloats(sc.bytes[:0], sc.floats)
+			if err := ep.Send(m.peer, tag, sc.bytes); err != nil {
+				return nil, err
+			}
+			res.BytesSent += int64(len(sc.bytes))
+			res.MsgsSent++
+			res.MigratedBytes += m.region.Cells() * bytesPerCell
+		}
+		for _, m := range recvs {
+			tag := fmt.Sprintf("%sr%d-%d-%d", prefix, iter, m.dstIdx, m.srcIdx)
+			payload, err := ep.Recv(m.peer, tag)
+			if err != nil {
+				return nil, err
+			}
+			res.MsgsRecvd++
+			sc.rfloats, err = transport.DecodeFloats(payload, sc.rfloats)
+			if err != nil {
+				return nil, err
+			}
+			if err := apply(out[m.dst], m.region, sc.rfloats); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	tag := fmt.Sprintf("%srx%d", prefix, iter)
+	for lo := 0; lo < len(sends); {
+		hi := lo
+		for hi < len(sends) && sends[hi].peer == sends[lo].peer {
+			hi++
+		}
+		sc.floats = sc.floats[:0]
+		sc.regions = sc.regions[:0]
+		for _, m := range sends[lo:hi] {
+			n0 := len(sc.floats)
+			sc.floats = extractAppend(sc.floats, patches[m.src], m.region)
+			sc.regions = append(sc.regions, frameRegion(m.dstIdx, m.srcIdx, m.region, len(sc.floats)-n0))
+			res.MigratedBytes += m.region.Cells() * bytesPerCell
+		}
+		sc.bytes = transport.AppendFrame(sc.bytes[:0], sc.regions, sc.floats)
+		if err := ep.Send(sends[lo].peer, tag, sc.bytes); err != nil {
+			return nil, err
+		}
+		res.BytesSent += int64(len(sc.bytes))
+		res.MsgsSent++
+		lo = hi
+	}
+	for lo := 0; lo < len(recvs); {
+		hi := lo
+		for hi < len(recvs) && recvs[hi].peer == recvs[lo].peer {
+			hi++
+		}
+		payload, err := ep.Recv(recvs[lo].peer, tag)
+		if err != nil {
+			return nil, err
+		}
+		res.MsgsRecvd++
+		sc.rregions, sc.rfloats, err = transport.DecodeFrame(payload, sc.rregions, sc.rfloats)
+		if err != nil {
+			return nil, err
+		}
+		if len(sc.rregions) != hi-lo {
+			return nil, fmt.Errorf("engine: rank %d sent %d migration regions, plan expects %d",
+				recvs[lo].peer, len(sc.rregions), hi-lo)
+		}
+		off := 0
+		for i, m := range recvs[lo:hi] {
+			fr := sc.rregions[i]
+			if err := checkFrameRegion(fr, m.dstIdx, m.srcIdx, m.region); err != nil {
+				return nil, err
+			}
+			n := int(fr.Count)
+			if err := apply(out[m.dst], m.region, sc.rfloats[off:off+n]); err != nil {
+				return nil, err
+			}
+			off += n
+		}
+		lo = hi
+	}
+	return out, nil
 }

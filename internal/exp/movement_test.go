@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"io"
+	"math"
+	"testing"
+)
+
+// TestMovementRemapSavesMigration pins the acceptance criterion of the
+// movement-aware repartitioning: on the capacity-rotation scenario the
+// affinity remap strictly reduces migrated bytes, leaves the post-shift
+// balance unchanged, and both runs finish with the identical solution.
+func TestMovementRemapSavesMigration(t *testing.T) {
+	res, err := Movement(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	remap, plain := res.Rows[0], res.Rows[1]
+	if remap.MigratedKB <= 0 || plain.MigratedKB <= 0 {
+		t.Fatalf("no migration happened (remap %.1f KB, plain %.1f KB): the rotation scenario is broken",
+			remap.MigratedKB, plain.MigratedKB)
+	}
+	if remap.MigratedKB >= plain.MigratedKB {
+		t.Errorf("affinity remap did not reduce migration: %.1f KB >= %.1f KB",
+			remap.MigratedKB, plain.MigratedKB)
+	}
+	if math.Abs(remap.MaxImbalance-plain.MaxImbalance) > 1e-9 {
+		t.Errorf("remap changed balance: %.6f%% vs %.6f%%", remap.MaxImbalance, plain.MaxImbalance)
+	}
+	if !res.BitExact {
+		t.Error("solutions diverged between remap on and off")
+	}
+	if res.Cells != 48*48 {
+		t.Errorf("composed %d cells, want %d", res.Cells, 48*48)
+	}
+	if err := res.Render(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

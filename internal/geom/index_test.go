@@ -1,0 +1,120 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteOverlaps is the reference the index must reproduce: the O(n²) scan
+// the plan builder used before the index existed.
+func bruteOverlaps(boxes BoxList, probe Box) []int {
+	var out []int
+	for i, b := range boxes {
+		if !b.Empty() && probe.Intersects(b) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func randBox(rng *rand.Rand, rank, span, level int) Box {
+	var b Box
+	if rank == 2 {
+		x, y := rng.Intn(span), rng.Intn(span)
+		b = Box2(x, y, x+rng.Intn(12), y+rng.Intn(12))
+	} else {
+		x, y, z := rng.Intn(span), rng.Intn(span), rng.Intn(span)
+		b = Box3(x, y, z, x+rng.Intn(8), y+rng.Intn(8), z+rng.Intn(8))
+	}
+	b.Level = level
+	return b
+}
+
+// TestIndexMatchesBruteForce cross-checks randomized index queries against
+// the brute-force double loop: mixed 2D/3D ranks are exercised in separate
+// lists, boxes span multiple levels (Query is purely geometric, so matches
+// cross levels), and some inputs are empty and must never be returned.
+func TestIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, rank := range []int{2, 3} {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(120)
+			boxes := make(BoxList, 0, n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(10) == 0 {
+					boxes = append(boxes, Box{}) // empty: must be invisible
+					continue
+				}
+				boxes = append(boxes, randBox(rng, rank, 60, rng.Intn(3)))
+			}
+			ix := NewIndex(boxes)
+			var out []int
+			for q := 0; q < 40; q++ {
+				probe := randBox(rng, rank, 80, rng.Intn(3))
+				if rng.Intn(4) == 0 {
+					probe = probe.Grow(1 + rng.Intn(3))
+				}
+				out = ix.Query(probe, out) // reuse scratch across queries
+				want := bruteOverlaps(boxes, probe)
+				if len(out) != len(want) {
+					t.Fatalf("rank %d trial %d: probe %v got %d hits, want %d\n got %v\nwant %v",
+						rank, trial, probe, len(out), len(want), out, want)
+				}
+				for i := range out {
+					if out[i] != want[i] {
+						t.Fatalf("rank %d trial %d: probe %v hit %d is %d, want %d (ascending order required)",
+							rank, trial, probe, i, out[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIndexEdgeCases(t *testing.T) {
+	// No boxes at all.
+	if got := NewIndex(nil).Query(Box2(0, 0, 5, 5), nil); len(got) != 0 {
+		t.Errorf("empty index returned %v", got)
+	}
+	// Only empty boxes.
+	if got := NewIndex(BoxList{{}, {}}).Query(Box2(0, 0, 5, 5), nil); len(got) != 0 {
+		t.Errorf("all-empty index returned %v", got)
+	}
+	// Empty probe.
+	ix := NewIndex(BoxList{Box2(0, 0, 7, 7)})
+	if got := ix.Query(Box{}, nil); len(got) != 0 {
+		t.Errorf("empty probe returned %v", got)
+	}
+	// Probe far outside the grid bounds.
+	if got := ix.Query(Box2(100, 100, 110, 110), nil); len(got) != 0 {
+		t.Errorf("out-of-bounds probe returned %v", got)
+	}
+	// A box spanning many buckets must be reported once, not per bucket.
+	boxes := BoxList{Box2(0, 0, 63, 63)}
+	for i := 0; i < 32; i++ {
+		boxes = append(boxes, Box2(i*2, 0, i*2+1, 1))
+	}
+	got := NewIndex(boxes).Query(Box2(0, 0, 63, 63), nil)
+	if len(got) != len(boxes) {
+		t.Errorf("big-box query returned %d hits, want %d (dedup across buckets)", len(got), len(boxes))
+	}
+}
+
+func TestIndexQueryReusesScratch(t *testing.T) {
+	boxes := make(BoxList, 0, 64)
+	for i := 0; i < 64; i++ {
+		x, y := (i%8)*8, (i/8)*8
+		boxes = append(boxes, Box2(x, y, x+7, y+7))
+	}
+	ix := NewIndex(boxes)
+	out := ix.Query(boxes[0].Grow(1), nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		out = ix.Query(boxes[27].Grow(1), out)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Query allocates %.1f times per call", allocs)
+	}
+	if len(out) != 9 {
+		t.Errorf("interior tile grown by 1 overlaps %d tiles, want 9", len(out))
+	}
+}

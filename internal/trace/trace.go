@@ -81,6 +81,13 @@ type RunTrace struct {
 	// MovedBytes is the total data volume redistributed across all
 	// repartitions (owner changes), a locality/affinity metric.
 	MovedBytes float64
+	// RetainedBytes is the data volume repartitions left in place (same
+	// owner before and after); MovedBytes/(MovedBytes+RetainedBytes) is the
+	// run's migration fraction.
+	RetainedBytes float64
+	// MsgsSent is the total ghost-exchange message count across the run
+	// under the cost model (one message per neighbor overlap per sub-step).
+	MsgsSent int64
 	// Utilization[k] is node k's mean busy fraction during compute phases
 	// (its compute time over the step's critical path); 1.0 on every node
 	// means perfect balance.

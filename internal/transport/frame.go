@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// FrameRegion describes one packed region inside a coalesced frame: the
+// global indexes of the destination and source boxes in the shared
+// assignment, the region bounds, and how many float64 values it carries.
+// Receivers validate every header against their own communication plan, so
+// two ranks disagreeing about the assignment fail loudly instead of applying
+// data to the wrong cells.
+type FrameRegion struct {
+	Dst, Src uint32
+	Lo, Hi   [3]int32
+	Count    uint32
+}
+
+// frameRegionSize is the encoded size of one region header: dst + src +
+// 3×lo + 3×hi + count, all 4-byte little-endian words.
+const frameRegionSize = 4 + 4 + 12 + 12 + 4
+
+// AppendFrame appends a coalesced multi-region frame to dst and returns the
+// extended buffer: a uint32 region count, the region headers, then every
+// region's float64 payload back to back in region order (the EncodeFloats
+// wire format). The region Counts must sum to len(vals). Hot paths pass
+// pooled dst[:0]/regions/vals so the steady-state send side allocates
+// nothing (Send permits buffer reuse as soon as it returns).
+func AppendFrame(dst []byte, regions []FrameRegion, vals []float64) []byte {
+	off := len(dst)
+	need := off + 4 + frameRegionSize*len(regions) + 8*len(vals)
+	if cap(dst) < need {
+		grown := make([]byte, off, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:need]
+	binary.LittleEndian.PutUint32(dst[off:], uint32(len(regions)))
+	off += 4
+	for _, r := range regions {
+		binary.LittleEndian.PutUint32(dst[off:], r.Dst)
+		binary.LittleEndian.PutUint32(dst[off+4:], r.Src)
+		for d := 0; d < 3; d++ {
+			binary.LittleEndian.PutUint32(dst[off+8+4*d:], uint32(r.Lo[d]))
+			binary.LittleEndian.PutUint32(dst[off+20+4*d:], uint32(r.Hi[d]))
+		}
+		binary.LittleEndian.PutUint32(dst[off+32:], r.Count)
+		off += frameRegionSize
+	}
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
+		off += 8
+	}
+	return dst
+}
+
+// DecodeFrame parses an AppendFrame payload, reusing the capacity of the
+// passed slices when it suffices (pass nil to allocate). It verifies the
+// declared region counts exactly account for the float payload.
+func DecodeFrame(payload []byte, regions []FrameRegion, vals []float64) ([]FrameRegion, []float64, error) {
+	if len(payload) < 4 {
+		return nil, nil, fmt.Errorf("transport: frame too short (%d bytes)", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	off := 4
+	if len(payload)-off < n*frameRegionSize {
+		return nil, nil, fmt.Errorf("transport: frame with %d regions needs %d header bytes, has %d",
+			n, n*frameRegionSize, len(payload)-off)
+	}
+	if cap(regions) < n {
+		regions = make([]FrameRegion, n)
+	}
+	regions = regions[:n]
+	total := 0
+	for i := range regions {
+		r := &regions[i]
+		r.Dst = binary.LittleEndian.Uint32(payload[off:])
+		r.Src = binary.LittleEndian.Uint32(payload[off+4:])
+		for d := 0; d < 3; d++ {
+			r.Lo[d] = int32(binary.LittleEndian.Uint32(payload[off+8+4*d:]))
+			r.Hi[d] = int32(binary.LittleEndian.Uint32(payload[off+20+4*d:]))
+		}
+		r.Count = binary.LittleEndian.Uint32(payload[off+32:])
+		total += int(r.Count)
+		off += frameRegionSize
+	}
+	if len(payload)-off != 8*total {
+		return nil, nil, fmt.Errorf("transport: frame declares %d values but carries %d payload bytes",
+			total, len(payload)-off)
+	}
+	vals, err := DecodeFloats(payload[off:], vals)
+	if err != nil {
+		return nil, nil, err
+	}
+	return regions, vals, nil
+}

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"math"
+	"testing"
+)
+
+func frameFixture() ([]FrameRegion, []float64) {
+	regions := []FrameRegion{
+		{Dst: 0, Src: 7, Lo: [3]int32{-4, 0, 2}, Hi: [3]int32{-1, 3, 2}, Count: 3},
+		{Dst: 12, Src: 3, Lo: [3]int32{8, 8, 0}, Hi: [3]int32{15, 9, 0}, Count: 2},
+		{Dst: 5, Src: 5, Lo: [3]int32{0, 0, 0}, Hi: [3]int32{0, 0, 0}, Count: 1},
+	}
+	vals := []float64{1.5, -2.25, 3e-300, 0.125, math.Inf(-1), 0}
+	return regions, vals
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	regions, vals := frameFixture()
+	payload := AppendFrame(nil, regions, vals)
+	gotR, gotV, err := DecodeFrame(payload, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotR) != len(regions) {
+		t.Fatalf("decoded %d regions, want %d", len(gotR), len(regions))
+	}
+	for i := range regions {
+		if gotR[i] != regions[i] {
+			t.Errorf("region %d: %+v != %+v (negative extents must survive the uint32 wire)", i, gotR[i], regions[i])
+		}
+	}
+	if len(gotV) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(gotV), len(vals))
+	}
+	for i := range vals {
+		if gotV[i] != vals[i] {
+			t.Errorf("value %d: %.17g != %.17g", i, gotV[i], vals[i])
+		}
+	}
+}
+
+func TestFrameEmpty(t *testing.T) {
+	payload := AppendFrame(nil, nil, nil)
+	gotR, gotV, err := DecodeFrame(payload, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotR) != 0 || len(gotV) != 0 {
+		t.Errorf("empty frame decoded to %d regions, %d values", len(gotR), len(gotV))
+	}
+}
+
+// TestFrameBufferReuse covers the pooled hot path: appending into a reused
+// buffer (truncated and not), and decoding into slices from a prior call,
+// must be correct and allocation-free once capacities suffice.
+func TestFrameBufferReuse(t *testing.T) {
+	regions, vals := frameFixture()
+	buf := AppendFrame(nil, regions, vals)
+	first := string(buf)
+	// Append preserves an existing prefix.
+	prefixed := AppendFrame([]byte("hdr:"), regions, vals)
+	if string(prefixed[:4]) != "hdr:" || string(prefixed[4:]) != first {
+		t.Fatal("AppendFrame corrupted the existing prefix")
+	}
+	rScratch, vScratch, err := DecodeFrame(buf, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendFrame(buf[:0], regions, vals)
+		rScratch, vScratch, err = DecodeFrame(buf, rScratch, vScratch)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state pack+unpack allocates %.1f times per call", allocs)
+	}
+	if string(buf) != first {
+		t.Error("reused buffer produced different bytes")
+	}
+	if len(rScratch) != len(regions) || len(vScratch) != len(vals) {
+		t.Errorf("reused decode returned %d regions, %d values", len(rScratch), len(vScratch))
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	regions, vals := frameFixture()
+	good := AppendFrame(nil, regions, vals)
+	cases := map[string][]byte{
+		"empty payload":     {},
+		"short count":       good[:3],
+		"truncated headers": good[:4+frameRegionSize*len(regions)-1],
+		"truncated floats":  good[:len(good)-1],
+		"extra bytes":       append(append([]byte{}, good...), 0),
+	}
+	// A region header declaring more values than the payload carries.
+	lying := AppendFrame(nil, []FrameRegion{{Count: 99}}, []float64{1})
+	cases["count mismatch"] = lying
+	for name, payload := range cases {
+		if _, _, err := DecodeFrame(payload, nil, nil); err == nil {
+			t.Errorf("%s: decode accepted a malformed frame", name)
+		}
+	}
+}

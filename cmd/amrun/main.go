@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -19,6 +20,7 @@ import (
 	"samrpart/internal/exp"
 	"samrpart/internal/geom"
 	"samrpart/internal/monitor"
+	"samrpart/internal/obs"
 	"samrpart/internal/partition"
 	"samrpart/internal/solver"
 	"samrpart/internal/trace"
@@ -61,6 +63,11 @@ func main() {
 			"skip sense-triggered repartitions that improve max-imbalance by less than this many percentage points (0 = always repartition)")
 		affinityRemap = flag.Bool("affinity-remap", false,
 			"relabel repartition output toward the previous owners (partition.RemapOwners) to cut migration volume at unchanged balance")
+		obsAddr = flag.String("obs-addr", "",
+			"serve /metrics, /state, /healthz and pprof on this address while running (e.g. 127.0.0.1:9190)")
+		events = flag.String("events", "",
+			"write the observability span log (JSONL) to this file; render it with cmd/obsreport")
+		obsSeed = flag.Int64("obs-seed", 0, "seed for the run ID in metrics and event logs (0 = wall clock)")
 	)
 	flag.Parse()
 
@@ -175,6 +182,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	var obsRT *obs.Runtime
+	if *obsAddr != "" || *events != "" {
+		var evw io.Writer
+		if *events != "" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "amrun:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			evw = f
+		}
+		obsRT = obs.New(obs.Config{Seed: *obsSeed, Events: evw})
+		defer func() {
+			if err := obsRT.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "amrun: flush events:", err)
+			}
+		}()
+		if *obsAddr != "" {
+			srv, err := obsRT.Serve(*obsAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "amrun:", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "amrun: observability on http://%s (run %s)\n",
+				srv.Addr(), obsRT.RunIDString())
+		}
+	}
+
 	clus, err := cluster.New(cluster.Uniform(*nodes, cluster.LinuxWorkstation()), cluster.DefaultParams())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amrun:", err)
@@ -200,11 +237,13 @@ func main() {
 		Hygiene:              hygieneConfig(*hygiene),
 		RepartitionThreshold: *repartThresh,
 		AffinityRemap:        *affinityRemap,
+		Obs:                  obsRT,
 	}, clus)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amrun:", err)
 		os.Exit(1)
 	}
+	obsRT.SetState("engine", e.Snapshot)
 	if *loadCkpt != "" {
 		st, err := checkpoint.LoadFile(*loadCkpt)
 		if err != nil {
@@ -223,15 +262,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "amrun:", err)
 		os.Exit(1)
 	}
-	fmt.Println(tr.Summary())
-	fmt.Printf("mean node utilization: %.0f%%, redistributed %.1f MB (%.1f MB retained in place)\n",
-		tr.MeanUtilization()*100, tr.MovedBytes/1e6, tr.RetainedBytes/1e6)
-	if sensorFaults != nil || *hygiene || *repartThresh > 0 {
-		fmt.Printf("sensing: %d probes, %d degraded (%d timeouts, %d drops, %d garbage, %d outliers), %d dead sensors\n",
-			tr.Sensor.Probes, tr.Sensor.Degradations(), tr.Sensor.Timeouts,
-			tr.Sensor.Drops, tr.Sensor.Garbage, tr.Sensor.Outliers, tr.Sensor.DeadNodes)
-		fmt.Printf("control loop: %d repartitions adopted, %d skipped, %d fallbacks, %d failed senses\n",
-			tr.Repartitions, tr.RepartitionsSkipped, tr.Degraded.Total(), tr.SenseFailures)
+	if err := tr.WriteSummary(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "amrun:", err)
+		os.Exit(1)
 	}
 	h := e.Hierarchy()
 	fmt.Printf("final hierarchy: %d levels, %d boxes, %d total work units\n",

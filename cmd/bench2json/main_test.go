@@ -38,6 +38,36 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseCustomMetrics(t *testing.T) {
+	line := "BenchmarkSPMDExchange-8   22   50123456 ns/op   " +
+		"1344 msgs_sent/op   1344 msgs_recvd/op   262144 migrated_B/op   " +
+		"524288 retained_B/op   0.0042 halo_wait_s/op   8123456 B/op   91234 allocs/op\n"
+	results, err := parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.NsPerOp != 50123456 || r.BytesPerOp != 8123456 || r.AllocsPerOp != 91234 {
+		t.Errorf("standard metrics mis-parsed: %+v", r)
+	}
+	want := map[string]float64{
+		"msgs_sent/op": 1344, "msgs_recvd/op": 1344,
+		"migrated_B/op": 262144, "retained_B/op": 524288,
+		"halo_wait_s/op": 0.0042,
+	}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("Metrics[%q] = %g, want %g", unit, r.Metrics[unit], v)
+		}
+	}
+	if len(r.Metrics) != len(want) {
+		t.Errorf("extra metrics captured: %v", r.Metrics)
+	}
+}
+
 func TestParseFractionalNs(t *testing.T) {
 	results, err := parse(strings.NewReader(
 		"BenchmarkTiny-8   1000000000   0.3137 ns/op\n"))

@@ -5,6 +5,10 @@
 //	go run ./cmd/experiments -all
 //	go run ./cmd/experiments -fig7 -table3
 //	go run ./cmd/experiments -ablations
+//
+// With -events the studies append a JSONL span log that cmd/obsreport can
+// render; with -obs-addr a live /metrics + /state + pprof endpoint serves
+// while the studies run.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"samrpart/internal/engine"
 	"samrpart/internal/exp"
 	"samrpart/internal/monitor"
+	"samrpart/internal/obs"
 )
 
 // renderable is any experiment result that can print itself.
@@ -25,51 +30,88 @@ type renderable interface {
 	Render(w io.Writer) error
 }
 
+// options holds every experiment flag. Registration is split out over a
+// *flag.FlagSet so tests can assert that each flag documented in
+// EXPERIMENTS.md and README.md actually exists.
+type options struct {
+	all       *bool
+	scaling   *bool
+	fig7      *bool
+	fig8      *bool
+	fig11     *bool
+	table2    *bool
+	table3    *bool
+	ablations *bool
+	faultExp  *bool
+	faultStr  *string
+	sensorExp *bool
+	movement  *bool
+	sensorStr *string
+
+	repartThresh *float64
+	workers      *int
+	cpuProf      *string
+	memProf      *string
+
+	obsAddr *string
+	events  *string
+	obsSeed *int64
+}
+
+// registerFlags declares every flag on fs and returns the bound values.
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	o.all = fs.Bool("all", false, "run every experiment")
+	o.scaling = fs.Bool("scaling", false, "strong-scaling study on an idle cluster")
+	o.fig7 = fs.Bool("fig7", false, "Figure 7 / Table I: execution time vs cluster size")
+	o.fig8 = fs.Bool("fig8", false, "Figures 8-10: assignments and imbalance at fixed capacities")
+	o.fig11 = fs.Bool("fig11", false, "Figure 11: dynamic sensing during the run")
+	o.table2 = fs.Bool("table2", false, "Table II: dynamic vs static sensing")
+	o.table3 = fs.Bool("table3", false, "Table III / Figures 12-15: sensing frequency sweep")
+	o.ablations = fs.Bool("ablations", false, "design-choice ablations")
+	o.faultExp = fs.Bool("fault", false, "fault study: node crash on the virtual cluster + SPMD rank recovery")
+	o.faultStr = fs.String("fault-spec", "crash:rank=2,iter=10", "crash injected by -fault, e.g. crash:rank=2,iter=10")
+	o.sensorExp = fs.Bool("sensorfault", false, "degraded-sensing study: static vs naive vs hygienic adaptive under sensor faults")
+	o.movement = fs.Bool("movement", false, "migration-cost study: repartitioning with and without the owner-affinity remap")
+	o.sensorStr = fs.String("sensor-fault-spec", "",
+		"sensor faults for -sensorfault (default: the study's built-in spec), e.g. sensor:seed=7,frac=0.25,garbage=0.3")
+	o.repartThresh = fs.Float64("repartition-threshold", 0,
+		"hysteresis threshold for the -sensorfault hygiene scenario (imbalance percentage points)")
+	o.workers = fs.Int("workers", 0, "cap scheduler threads via GOMAXPROCS (0 = leave as-is); experiment configs drive solver kernels internally, so this bounds their pool width")
+	o.cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	o.memProf = fs.String("memprofile", "", "write a heap profile to this file at exit")
+	o.obsAddr = fs.String("obs-addr", "", "serve /metrics, /state, /healthz and pprof on this address while running (e.g. 127.0.0.1:9190)")
+	o.events = fs.String("events", "", "append the observability span log (JSONL) to this file; render it with cmd/obsreport")
+	o.obsSeed = fs.Int64("obs-seed", 0, "seed for the run ID in metrics and event logs (0 = wall clock)")
+	return o
+}
+
 func main() {
-	var (
-		all       = flag.Bool("all", false, "run every experiment")
-		scaling   = flag.Bool("scaling", false, "strong-scaling study on an idle cluster")
-		fig7      = flag.Bool("fig7", false, "Figure 7 / Table I: execution time vs cluster size")
-		fig8      = flag.Bool("fig8", false, "Figures 8-10: assignments and imbalance at fixed capacities")
-		fig11     = flag.Bool("fig11", false, "Figure 11: dynamic sensing during the run")
-		table2    = flag.Bool("table2", false, "Table II: dynamic vs static sensing")
-		table3    = flag.Bool("table3", false, "Table III / Figures 12-15: sensing frequency sweep")
-		ablations = flag.Bool("ablations", false, "design-choice ablations")
-		faultExp  = flag.Bool("fault", false, "fault study: node crash on the virtual cluster + SPMD rank recovery")
-		faultStr  = flag.String("fault-spec", "crash:rank=2,iter=10", "crash injected by -fault, e.g. crash:rank=2,iter=10")
-		sensorExp = flag.Bool("sensorfault", false, "degraded-sensing study: static vs naive vs hygienic adaptive under sensor faults")
-		movement  = flag.Bool("movement", false, "migration-cost study: repartitioning with and without the owner-affinity remap")
-		sensorStr = flag.String("sensor-fault-spec", "",
-			"sensor faults for -sensorfault (default: the study's built-in spec), e.g. sensor:seed=7,frac=0.25,garbage=0.3")
-		repartThresh = flag.Float64("repartition-threshold", 0,
-			"hysteresis threshold for the -sensorfault hygiene scenario (imbalance percentage points)")
-		workers = flag.Int("workers", 0, "cap scheduler threads via GOMAXPROCS (0 = leave as-is); experiment configs drive solver kernels internally, so this bounds their pool width")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
-	)
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
-	if !(*all || *fig7 || *fig8 || *fig11 || *table2 || *table3 || *ablations || *scaling || *faultExp || *sensorExp || *movement) {
+	if !(*o.all || *o.fig7 || *o.fig8 || *o.fig11 || *o.table2 || *o.table3 ||
+		*o.ablations || *o.scaling || *o.faultExp || *o.sensorExp || *o.movement) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	fault, err := engine.ParseFaultSpec(*faultStr)
+	fault, err := engine.ParseFaultSpec(*o.faultStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
 	var sensorSpec *monitor.ProbeFaultSpec
-	if *sensorStr != "" {
-		sensorSpec, err = monitor.ParseProbeFaultSpec(*sensorStr)
+	if *o.sensorStr != "" {
+		sensorSpec, err = monitor.ParseProbeFaultSpec(*o.sensorStr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(2)
 		}
 	}
-	if *workers > 0 {
-		runtime.GOMAXPROCS(*workers)
+	if *o.workers > 0 {
+		runtime.GOMAXPROCS(*o.workers)
 	}
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
+	if *o.cpuProf != "" {
+		f, err := os.Create(*o.cpuProf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -81,9 +123,9 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if *memProf != "" {
+	if *o.memProf != "" {
 		defer func() {
-			f, err := os.Create(*memProf)
+			f, err := os.Create(*o.memProf)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
 				return
@@ -95,30 +137,61 @@ func main() {
 			}
 		}()
 	}
+
+	if *o.obsAddr != "" || *o.events != "" {
+		var evw io.Writer
+		if *o.events != "" {
+			f, err := os.Create(*o.events)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			evw = f
+		}
+		rt := obs.New(obs.Config{Seed: *o.obsSeed, Events: evw})
+		exp.SetObs(rt)
+		defer func() {
+			if err := rt.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: flush events:", err)
+			}
+		}()
+		if *o.obsAddr != "" {
+			srv, err := rt.Serve(*o.obsAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "experiments: observability on http://%s (run %s)\n",
+				srv.Addr(), rt.RunIDString())
+		}
+	}
+
 	type job struct {
 		on   bool
 		name string
 		run  func() (renderable, error)
 	}
 	jobs := []job{
-		{*all || *fig7, "Figure 7 / Table I", func() (renderable, error) { return exp.Fig7TableI() }},
-		{*all || *fig8, "Figures 8-10", func() (renderable, error) { return exp.Fig8to10() }},
-		{*all || *fig11, "Figure 11", func() (renderable, error) { return exp.Fig11() }},
-		{*all || *table2, "Table II", func() (renderable, error) { return exp.Table2() }},
-		{*all || *table3, "Table III / Figures 12-15", func() (renderable, error) { return exp.Table3() }},
-		{*all || *ablations, "Ablation: capacity weights", func() (renderable, error) { return exp.AblationWeights() }},
-		{*all || *ablations, "Ablation: splitting constraints", func() (renderable, error) { return exp.AblationSplitting() }},
-		{*all || *ablations, "Ablation: SFC choice", func() (renderable, error) { return exp.AblationSFC() }},
-		{*all || *ablations, "Ablation: forecaster", func() (renderable, error) { return exp.AblationForecaster() }},
-		{*all || *ablations, "Ablation: granularity", func() (renderable, error) { return exp.AblationGranularity() }},
-		{*all || *ablations, "Ablation: locality vs balance", func() (renderable, error) { return exp.AblationLocality() }},
-		{*all || *ablations, "Ablation: weights under memory pressure", func() (renderable, error) { return exp.AblationMemoryWeights() }},
-		{*all || *faultExp, "Fault recovery", func() (renderable, error) { return exp.FaultRecovery(16, fault.Rank, fault.Iter) }},
-		{*all || *sensorExp, "Degraded sensing", func() (renderable, error) { return exp.SensorFaults(40, sensorSpec, *repartThresh) }},
-		{*all || *movement, "Migration cost", func() (renderable, error) { return exp.Movement(16) }},
-		{*all || *scaling, "Strong scaling", func() (renderable, error) { return exp.Scalability() }},
-		{*all || *scaling, "Heterogeneity sweep", func() (renderable, error) { return exp.HeterogeneitySweep() }},
-		{*all || *scaling, "Mixed hardware", func() (renderable, error) { return exp.MixedHardware() }},
+		{*o.all || *o.fig7, "Figure 7 / Table I", func() (renderable, error) { return exp.Fig7TableI() }},
+		{*o.all || *o.fig8, "Figures 8-10", func() (renderable, error) { return exp.Fig8to10() }},
+		{*o.all || *o.fig11, "Figure 11", func() (renderable, error) { return exp.Fig11() }},
+		{*o.all || *o.table2, "Table II", func() (renderable, error) { return exp.Table2() }},
+		{*o.all || *o.table3, "Table III / Figures 12-15", func() (renderable, error) { return exp.Table3() }},
+		{*o.all || *o.ablations, "Ablation: capacity weights", func() (renderable, error) { return exp.AblationWeights() }},
+		{*o.all || *o.ablations, "Ablation: splitting constraints", func() (renderable, error) { return exp.AblationSplitting() }},
+		{*o.all || *o.ablations, "Ablation: SFC choice", func() (renderable, error) { return exp.AblationSFC() }},
+		{*o.all || *o.ablations, "Ablation: forecaster", func() (renderable, error) { return exp.AblationForecaster() }},
+		{*o.all || *o.ablations, "Ablation: granularity", func() (renderable, error) { return exp.AblationGranularity() }},
+		{*o.all || *o.ablations, "Ablation: locality vs balance", func() (renderable, error) { return exp.AblationLocality() }},
+		{*o.all || *o.ablations, "Ablation: weights under memory pressure", func() (renderable, error) { return exp.AblationMemoryWeights() }},
+		{*o.all || *o.faultExp, "Fault recovery", func() (renderable, error) { return exp.FaultRecovery(16, fault.Rank, fault.Iter) }},
+		{*o.all || *o.sensorExp, "Degraded sensing", func() (renderable, error) { return exp.SensorFaults(40, sensorSpec, *o.repartThresh) }},
+		{*o.all || *o.movement, "Migration cost", func() (renderable, error) { return exp.Movement(16) }},
+		{*o.all || *o.scaling, "Strong scaling", func() (renderable, error) { return exp.Scalability() }},
+		{*o.all || *o.scaling, "Heterogeneity sweep", func() (renderable, error) { return exp.HeterogeneitySweep() }},
+		{*o.all || *o.scaling, "Mixed hardware", func() (renderable, error) { return exp.MixedHardware() }},
 	}
 	for _, j := range jobs {
 		if !j.on {

@@ -1,0 +1,211 @@
+// Command obsreport renders the observability event log (JSONL, written by
+// amrun/experiments with -events) as per-phase and per-rank breakdown
+// tables: how much wall time each runtime phase consumed, how it spread
+// across SPMD ranks, and how many bytes moved in each phase.
+//
+//	go run ./cmd/amrun -events run.jsonl ... && go run ./cmd/obsreport run.jsonl
+//	go run ./cmd/obsreport -csv phase run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"samrpart/internal/obs"
+	"samrpart/internal/trace"
+)
+
+// phaseStats accumulates one phase's (or one rank's) span population.
+type phaseStats struct {
+	spans int
+	total float64
+	max   float64
+	bytes int64
+}
+
+func (s *phaseStats) add(ev obs.Event) {
+	s.spans++
+	s.total += ev.DurS
+	if ev.DurS > s.max {
+		s.max = ev.DurS
+	}
+	s.bytes += ev.Bytes
+}
+
+func (s *phaseStats) mean() float64 {
+	if s.spans == 0 {
+		return 0
+	}
+	return s.total / float64(s.spans)
+}
+
+// report is the parsed breakdown of one event log.
+type report struct {
+	runs     map[string]bool
+	events   int
+	named    int
+	wall     float64
+	phases   map[string]*phaseStats
+	rank     map[int]map[string]*phaseStats // rank -> phase -> stats
+	phaseSet []string                       // phases in taxonomy order, then unknown extras
+}
+
+// build folds the event stream into the report.
+func build(evs []obs.Event) *report {
+	r := &report{
+		runs:   map[string]bool{},
+		phases: map[string]*phaseStats{},
+		rank:   map[int]map[string]*phaseStats{},
+	}
+	for _, ev := range evs {
+		r.runs[ev.Run] = true
+		if ev.T > r.wall {
+			r.wall = ev.T
+		}
+		if ev.Name != "" {
+			r.named++
+			continue
+		}
+		r.events++
+		ps := r.phases[ev.Phase]
+		if ps == nil {
+			ps = &phaseStats{}
+			r.phases[ev.Phase] = ps
+		}
+		ps.add(ev)
+		rp := r.rank[ev.Rank]
+		if rp == nil {
+			rp = map[string]*phaseStats{}
+			r.rank[ev.Rank] = rp
+		}
+		rs := rp[ev.Phase]
+		if rs == nil {
+			rs = &phaseStats{}
+			rp[ev.Phase] = rs
+		}
+		rs.add(ev)
+	}
+	// Known taxonomy order first so tables read sense -> ... -> checkpoint,
+	// then any unknown phase names alphabetically.
+	known := map[string]bool{}
+	for _, p := range obs.Phases() {
+		name := p.String()
+		known[name] = true
+		if r.phases[name] != nil {
+			r.phaseSet = append(r.phaseSet, name)
+		}
+	}
+	var extra []string
+	for name := range r.phases {
+		if !known[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	r.phaseSet = append(r.phaseSet, extra...)
+	return r
+}
+
+// secs renders a duration column with microsecond resolution.
+func secs(v float64) string { return fmt.Sprintf("%.6f", v) }
+
+// phaseTable builds the per-phase breakdown.
+func (r *report) phaseTable() *trace.Table {
+	t := trace.NewTable("per-phase breakdown", "phase", "spans", "total s", "mean s", "max s", "MB")
+	for _, name := range r.phaseSet {
+		s := r.phases[name]
+		t.Add(name, fmt.Sprint(s.spans), secs(s.total), secs(s.mean()), secs(s.max),
+			fmt.Sprintf("%.3f", float64(s.bytes)/1e6))
+	}
+	return t
+}
+
+// rankTable builds the per-rank breakdown: one row per rank, one duration
+// column per phase that appears in the log. Rank -1 is the engine control
+// loop (it has no SPMD rank).
+func (r *report) rankTable() *trace.Table {
+	header := append([]string{"rank", "spans"}, r.phaseSet...)
+	header = append(header, "MB")
+	t := trace.NewTable("per-rank breakdown (seconds)", header...)
+	ranks := make([]int, 0, len(r.rank))
+	for k := range r.rank {
+		ranks = append(ranks, k)
+	}
+	sort.Ints(ranks)
+	for _, k := range ranks {
+		rp := r.rank[k]
+		spans, bytes := 0, int64(0)
+		cells := []string{fmt.Sprint(k), ""}
+		for _, name := range r.phaseSet {
+			s := rp[name]
+			if s == nil {
+				cells = append(cells, "-")
+				continue
+			}
+			spans += s.spans
+			bytes += s.bytes
+			cells = append(cells, secs(s.total))
+		}
+		cells[1] = fmt.Sprint(spans)
+		cells = append(cells, fmt.Sprintf("%.3f", float64(bytes)/1e6))
+		t.Add(cells...)
+	}
+	return t
+}
+
+func run(in io.Reader, out io.Writer, csv string) error {
+	evs, err := obs.ReadEvents(in)
+	if err != nil {
+		return err
+	}
+	r := build(evs)
+	if csv != "" {
+		switch csv {
+		case "phase":
+			return r.phaseTable().CSV(out)
+		case "rank":
+			return r.rankTable().CSV(out)
+		default:
+			return fmt.Errorf("unknown -csv table %q (want phase or rank)", csv)
+		}
+	}
+	runs := make([]string, 0, len(r.runs))
+	for id := range r.runs {
+		runs = append(runs, id)
+	}
+	sort.Strings(runs)
+	fmt.Fprintf(out, "runs: %v\n", runs)
+	fmt.Fprintf(out, "%d spans, %d named events, last event at t=%.3fs\n",
+		r.events, r.named, r.wall)
+	if err := r.phaseTable().Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return r.rankTable().Render(out)
+}
+
+func main() {
+	csv := flag.String("csv", "", "emit one table as CSV instead of text: phase | rank")
+	flag.Parse()
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "obsreport: at most one event-log path (or stdin)")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obsreport:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, os.Stdout, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+}

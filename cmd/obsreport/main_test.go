@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"samrpart/internal/obs"
+)
+
+// sampleLog builds a real event log via the obs runtime so the report is
+// tested against the writer's actual wire format.
+func sampleLog(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	rt := obs.New(obs.Config{Seed: 42, Events: &sb})
+	for iter := 0; iter < 3; iter++ {
+		for rank := 0; rank < 2; rank++ {
+			rt.Span(obs.PhaseCompute, rank, iter).End()
+			rt.Span(obs.PhaseHaloWait, rank, iter).EndBytes(1 << 20)
+		}
+	}
+	rt.Span(obs.PhaseSense, -1, 0).End()
+	rt.Event("crash-detected", 1, 2, 1)
+	if err := rt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestReportBreakdown(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sampleLog(t)), &out, ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"run-",
+		"13 spans, 1 named events",
+		"per-phase breakdown",
+		"per-rank breakdown",
+		"sense",
+		"compute",
+		"halo-wait",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q in:\n%s", want, got)
+		}
+	}
+	// 2 ranks x 3 iters x 1 MiB halo-wait payload each: the halo-wait
+	// phase row carries 6.291 MB, each rank row half that.
+	if !strings.Contains(got, "6.291") {
+		t.Errorf("per-phase MB column missing 6.291:\n%s", got)
+	}
+	if !strings.Contains(got, "3.146") {
+		t.Errorf("per-rank MB column missing 3.146:\n%s", got)
+	}
+	// The engine control loop reports as rank -1.
+	if !strings.Contains(got, "-1") {
+		t.Errorf("rank -1 row missing:\n%s", got)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sampleLog(t)), &out, "phase"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 { // header + sense + compute + halo-wait
+		t.Fatalf("want 4 CSV lines, got %d:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "phase,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+
+	if err := run(strings.NewReader(sampleLog(t)), &out, "bogus"); err == nil {
+		t.Error("bogus -csv table accepted")
+	}
+}
+
+func TestReportMalformedInput(t *testing.T) {
+	var out strings.Builder
+	err := run(strings.NewReader("{\"run\":\"x\"}\nnot json\n"), &out, "")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want line-2 parse error, got %v", err)
+	}
+}

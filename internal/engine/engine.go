@@ -12,6 +12,7 @@ import (
 	"samrpart/internal/cluster"
 	"samrpart/internal/geom"
 	"samrpart/internal/monitor"
+	"samrpart/internal/obs"
 	"samrpart/internal/partition"
 	"samrpart/internal/trace"
 )
@@ -83,6 +84,10 @@ type Config struct {
 	// the always-repartition behaviour. Regrid-triggered repartitions are
 	// never skipped (the box list changed).
 	RepartitionThreshold float64
+	// Obs, when set, receives phase spans, control-loop metrics and state
+	// snapshots. Nil disables observability entirely; the run is then
+	// bit-identical to an uninstrumented one.
+	Obs *obs.Runtime
 }
 
 func (c Config) validate() error {
@@ -135,6 +140,10 @@ type Engine struct {
 	tr          *trace.RunTrace
 	busySeconds []float64
 
+	ob    engineObs
+	pubMu sync.Mutex
+	pub   EngineState
+
 	// stepCost scratch, reused every iteration so the cost model allocates
 	// nothing on the per-step path.
 	costFlops, costBytes, costResident, costPerNode []float64
@@ -177,11 +186,13 @@ func New(cfg Config, clus *cluster.Cluster) (*Engine, error) {
 		return nil, fmt.Errorf("engine: fault plan targets node %d of %d",
 			cfg.Fault.Rank, clus.NumNodes())
 	}
+	mon.SetObs(cfg.Obs.Registry())
 	return &Engine{
 		cfg:  cfg,
 		clus: clus,
 		mon:  mon,
 		hier: h,
+		ob:   newEngineObs(cfg.Obs, clus.NumNodes()),
 	}, nil
 }
 
@@ -204,7 +215,9 @@ func (e *Engine) work() partition.WorkFunc {
 // whose capacities cannot be computed at all (garbage measurements, every
 // sensor dead) keeps the previous capacities — or falls back to a uniform
 // split before any are known — instead of aborting the run.
-func (e *Engine) sense() error {
+func (e *Engine) sense(iter int) error {
+	sp := e.ob.rt.Span(obs.PhaseSense, -1, iter)
+	defer sp.End()
 	ms := e.mon.Sense(e.clus.Now())
 	caps, err := capacity.RelativeMasked(ms, e.cfg.Weights, e.mon.Alive())
 	switch {
@@ -212,8 +225,10 @@ func (e *Engine) sense() error {
 		e.caps = caps
 	case e.caps != nil:
 		e.tr.SenseFailures++
+		e.ob.senseFailures.Inc()
 	case e.cfg.Hygiene.Enabled:
 		e.tr.SenseFailures++
+		e.ob.senseFailures.Inc()
 		e.caps = partition.UniformCaps(e.clus.NumNodes())
 	default:
 		// Raw mode before any capacities are known: surface the error, the
@@ -224,6 +239,9 @@ func (e *Engine) sense() error {
 	e.clus.Advance(cost)
 	e.tr.SenseTime += cost
 	e.tr.Senses++
+	e.ob.senses.Inc()
+	e.ob.setCaps(e.caps)
+	e.publish(iter)
 	return nil
 }
 
@@ -258,6 +276,7 @@ func (e *Engine) partitionValidated(boxes geom.BoxList) (*partition.Assignment, 
 		}
 		if err := a.Validate(boxes, work); err != nil {
 			e.tr.Degraded.InvalidRejected++
+			e.ob.fallbacks[fbInvalidRejected].Inc()
 			return nil, fmt.Errorf("engine: invalid assignment from %s: %w", p.Name(), err)
 		}
 		return a, nil
@@ -270,12 +289,14 @@ func (e *Engine) partitionValidated(boxes geom.BoxList) (*partition.Assignment, 
 	if _, isHetero := e.cfg.Partitioner.(*partition.Hetero); !isHetero {
 		if a, err2 := try(partition.NewHetero()); err2 == nil {
 			e.tr.Degraded.FallbackHetero++
+			e.ob.fallbacks[fbHetero].Inc()
 			return a, nil
 		}
 	}
 	if _, isComposite := e.cfg.Partitioner.(*partition.Composite); !isComposite {
 		if a, err2 := try(partition.NewComposite(e.cfg.Hierarchy.RefineRatio)); err2 == nil {
 			e.tr.Degraded.FallbackComposite++
+			e.ob.fallbacks[fbComposite].Inc()
 			return a, nil
 		}
 	}
@@ -303,16 +324,21 @@ func (e *Engine) repartition(iter int, maySkip bool) error {
 	if hysteresis && e.currentImbalance() <= e.cfg.RepartitionThreshold {
 		// Nothing to gain: improvement is bounded by the current imbalance.
 		e.tr.RepartitionsSkipped++
+		e.ob.repartitionsSkipped.Inc()
 		return nil
 	}
 	boxes := e.hier.AllBoxes()
+	psp := e.ob.rt.Span(obs.PhasePartition, -1, iter)
 	assign, err := e.partitionValidated(boxes)
+	psp.End()
 	if err == nil && e.cfg.AffinityRemap && e.assign != nil {
 		// Movement-aware relabeling: keep each ownership group on the node
 		// already holding most of its cells. Balance is preserved (the remap
 		// never exceeds the unmapped max imbalance), so the hysteresis
 		// comparison below still sees the partitioner's quality.
+		rsp := e.ob.rt.Span(obs.PhaseRemap, -1, iter)
 		assign = partition.RemapOwners(e.assign, assign)
+		rsp.End()
 	}
 	if err != nil {
 		// Degradation floor: ride the last valid assignment when the box
@@ -320,6 +346,7 @@ func (e *Engine) repartition(iter int, maySkip bool) error {
 		// such refuge — its old assignment covers the wrong boxes.
 		if maySkip && e.assign != nil {
 			e.tr.Degraded.KeptLastGood++
+			e.ob.fallbacks[fbKeptLastGood].Inc()
 			return nil
 		}
 		return fmt.Errorf("engine: partition: %w", err)
@@ -332,6 +359,7 @@ func (e *Engine) repartition(iter int, maySkip bool) error {
 		e.tr.RegridTime += cost
 		if e.currentImbalance()-assign.MaxImbalance() <= e.cfg.RepartitionThreshold {
 			e.tr.RepartitionsSkipped++
+			e.ob.repartitionsSkipped.Inc()
 			return nil
 		}
 		return e.adopt(iter, assign, false)
@@ -345,20 +373,26 @@ func (e *Engine) repartition(iter int, maySkip bool) error {
 func (e *Engine) adopt(iter int, assign *partition.Assignment, chargeRegrid bool) error {
 	// Redistribution cost: cells whose owner changed move over the wire.
 	if e.assign != nil {
+		msp := e.ob.rt.Span(obs.PhaseMigrate, -1, iter)
 		moved, retained := movedBytes(e.assign, assign, e.cfg.App.BytesPerCell(), e.clus.NumNodes())
 		e.tr.RetainedBytes += retained
+		e.ob.retainedBytes.Add(int64(retained))
 		maxT := 0.0
+		movedTotal := 0.0
 		for k, bytes := range moved {
 			if bytes == 0 {
 				continue
 			}
 			e.tr.MovedBytes += bytes
+			movedTotal += bytes
 			if t := e.clus.CommTime(k, bytes, 1+int(bytes/65536)); t > maxT {
 				maxT = t
 			}
 		}
+		e.ob.movedBytes.Add(int64(movedTotal))
 		e.clus.Advance(maxT)
 		e.tr.CommTime += maxT
+		msp.EndBytes(int64(movedTotal))
 	}
 	if chargeRegrid {
 		cost := e.clus.Params().RegridCostSec
@@ -367,6 +401,8 @@ func (e *Engine) adopt(iter int, assign *partition.Assignment, chargeRegrid bool
 	}
 	e.assign = assign
 	e.tr.Repartitions++
+	e.ob.repartitions.Inc()
+	e.ob.imbalance.Set(assign.MaxImbalance())
 	e.tr.Records = append(e.tr.Records, trace.AssignmentRecord{
 		Regrid:      len(e.tr.Records) + 1,
 		Iter:        iter,
@@ -377,6 +413,7 @@ func (e *Engine) adopt(iter int, assign *partition.Assignment, chargeRegrid bool
 		Boxes:       len(assign.Boxes),
 		TrueCaps:    e.trueCaps(),
 	})
+	e.publish(iter)
 	return nil
 }
 
@@ -487,7 +524,7 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 	// Initial sensing + partition (the paper always senses at least once
 	// before the start of the simulation, and its execution times include
 	// the sensing overhead).
-	if err := e.sense(); err != nil {
+	if err := e.sense(0); err != nil {
 		return nil, err
 	}
 	if err := e.regridAndPartition(0); err != nil {
@@ -498,6 +535,7 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 	var ckptErr error
 	defer ckptWG.Wait()
 	for iter := 0; iter < e.cfg.Iterations; iter++ {
+		e.ob.iter.Set(float64(iter))
 		if e.cfg.Fault != nil && iter == e.cfg.Fault.Iter {
 			// Crash the node: saturate its CPU and memory with external
 			// load from now on (bandwidth is static in the cluster model,
@@ -513,7 +551,7 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 			// Adaptive configurations react right away; static ones keep
 			// running blind (the paper's static-vs-adaptive contrast).
 			if e.cfg.SenseEvery > 0 {
-				if err := e.sense(); err != nil {
+				if err := e.sense(iter); err != nil {
 					return nil, err
 				}
 				if err := e.repartition(iter, true); err != nil {
@@ -522,7 +560,7 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 			}
 		}
 		if e.cfg.SenseEvery > 0 && iter > 0 && iter%e.cfg.SenseEvery == 0 {
-			if err := e.sense(); err != nil {
+			if err := e.sense(iter); err != nil {
 				return nil, err
 			}
 			// Fresh capacities take effect immediately: redistribute.
@@ -541,6 +579,7 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 			// next regrid/Advance mutate — then write the bytes in the
 			// background. Writes are serialized (and the latest state always
 			// wins) because each waits for the previous one.
+			csp := e.ob.rt.Span(obs.PhaseCheckpoint, -1, iter)
 			st, err := e.Checkpoint(iter)
 			if err != nil {
 				return nil, err
@@ -549,6 +588,7 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 			if err := checkpoint.Save(&buf, st); err != nil {
 				return nil, err
 			}
+			csp.EndBytes(int64(buf.Len()))
 			ckptWG.Wait()
 			ckptWG.Add(1)
 			go func(data []byte) {
@@ -560,9 +600,11 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 				}
 			}(buf.Bytes())
 		}
+		sp := e.ob.rt.Span(obs.PhaseCompute, -1, iter)
 		if err := e.cfg.App.Advance(e.hier, iter); err != nil {
 			return nil, err
 		}
+		sp.End()
 		compute, comm, perNode := e.stepCost()
 		e.clus.Advance(compute + comm)
 		e.tr.ComputeTime += compute

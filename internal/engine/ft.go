@@ -11,6 +11,7 @@ import (
 	"samrpart/internal/amr"
 	"samrpart/internal/checkpoint"
 	"samrpart/internal/geom"
+	"samrpart/internal/obs"
 	"samrpart/internal/partition"
 	"samrpart/internal/transport"
 )
@@ -148,6 +149,7 @@ func runSPMDFT(ep transport.Endpoint, cfg SPMDConfig, res *SPMDResult) (*SPMDRes
 	}
 	r := &spmdRun{cfg: cfg, ep: ted, res: res, deadline: cfg.recvDeadline(),
 		alive: make([]bool, ep.Size())}
+	r.sc.om = newSPMDObs(cfg.Obs, ep.Rank())
 	for i := range r.alive {
 		r.alive[i] = true
 	}
@@ -219,6 +221,7 @@ func runSPMDFT(ep transport.Endpoint, cfg SPMDConfig, res *SPMDResult) (*SPMDRes
 		}
 	}
 	finalizeSPMD(res, r.patches)
+	r.sc.om.sync(res)
 	return res, nil
 }
 
@@ -450,6 +453,9 @@ func (r *spmdRun) writeCheckpoint(iter int) error {
 	if err != nil {
 		return fmt.Errorf("engine: async checkpoint failed: %w", err)
 	}
+	// The checkpoint span covers the synchronous cut: cloning always, the
+	// shard write too when SyncCheckpoint blocks on it.
+	ksp := r.sc.om.span(obs.PhaseCheckpoint)
 	clones := make(map[geom.Box]*amr.Patch, len(r.patches))
 	for b, p := range r.patches {
 		clones[b] = p.Clone()
@@ -459,11 +465,14 @@ func (r *spmdRun) writeCheckpoint(iter int) error {
 	r.res.Checkpoints++
 	if r.cfg.FT.SyncCheckpoint {
 		if err := checkpoint.SaveShard(dir, sh); err != nil {
+			ksp.End()
 			return err
 		}
 		r.setDurable(iter)
+		ksp.End()
 		return nil
 	}
+	ksp.End()
 	r.ckptWG.Add(1)
 	go func() {
 		defer r.ckptWG.Done()
@@ -498,10 +507,13 @@ func (r *spmdRun) durableCkpt() int {
 // epoch-namespaced tags.
 func (r *spmdRun) step(iter int) error {
 	cfg, k := r.cfg, r.cfg.Kernel
+	r.sc.om.setIter(iter)
 	if cfg.RepartEvery > 0 && iter > 0 && iter%cfg.RepartEvery == 0 && iter != r.lastPart {
+		psp := r.sc.om.span(obs.PhasePartition)
 		caps := cfg.CapsAt(iter)
 		newAssign, err := partition.PartitionAlive(cfg.Partitioner, cfg.tiles(), caps, r.alive, partition.CellWork)
 		if err != nil {
+			psp.End()
 			return err
 		}
 		// Movement-aware relabeling. PartitionAlive is computed locally and
@@ -511,6 +523,7 @@ func (r *spmdRun) step(iter int) error {
 		if !cfg.NoAffinityRemap {
 			newAssign = partition.RemapOwners(r.assign, newAssign)
 		}
+		psp.End()
 		r.patches, err = redistribute(r.ep, r.assign, newAssign, r.patches, k, iter, r.res, r.prefix(), cfg.PerPairExchange, &r.sc)
 		if err != nil {
 			return err
@@ -541,17 +554,22 @@ func (r *spmdRun) step(iter int) error {
 			dt = 0
 		}
 	}
+	csp := r.sc.om.span(obs.PhaseCompute)
 	for _, b := range r.plan.interior {
 		stepPatch(k, cfg.BaseGrid, r.patches, r.spares, b, dt)
 		r.res.InteriorSteps++
 	}
+	csp.End()
 	if err := r.plan.finishRecvs(r.ep, r.patches, r.res); err != nil {
 		return err
 	}
+	bsp := r.sc.om.span(obs.PhaseCompute)
 	for _, b := range r.plan.boundary {
 		stepPatch(k, cfg.BaseGrid, r.patches, r.spares, b, dt)
 		r.res.BoundarySteps++
 	}
+	bsp.End()
+	r.sc.om.sync(r.res)
 	return nil
 }
 

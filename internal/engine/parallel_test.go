@@ -144,6 +144,7 @@ func BenchmarkSPMDExchange(b *testing.B) {
 		CapsAt:      func(int) []float64 { return []float64{0.5, 0.5} },
 		Iterations:  8,
 	}
+	var msgsSent, msgsRecvd, migrated, retained int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eps, err := transport.NewGroup(2)
@@ -152,11 +153,12 @@ func BenchmarkSPMDExchange(b *testing.B) {
 		}
 		var wg sync.WaitGroup
 		errs := make([]error, len(eps))
+		results := make([]*SPMDResult, len(eps))
 		for r := range eps {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
-				_, errs[r] = RunSPMDRank(eps[r], cfg)
+				results[r], errs[r] = RunSPMDRank(eps[r], cfg)
 			}(r)
 		}
 		wg.Wait()
@@ -165,7 +167,18 @@ func BenchmarkSPMDExchange(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		for _, res := range results {
+			msgsSent += res.MsgsSent
+			msgsRecvd += res.MsgsRecvd
+			migrated += res.MigratedBytes
+			retained += res.RetainedBytes
+		}
 	}
+	n := float64(b.N)
+	b.ReportMetric(float64(msgsSent)/n, "msgs_sent/op")
+	b.ReportMetric(float64(msgsRecvd)/n, "msgs_recvd/op")
+	b.ReportMetric(float64(migrated)/n, "migrated_B/op")
+	b.ReportMetric(float64(retained)/n, "retained_B/op")
 }
 
 // BenchmarkParallelIntegration measures one full Berger–Oliger coarse step

@@ -8,6 +8,7 @@ import (
 
 	"samrpart/internal/amr"
 	"samrpart/internal/geom"
+	"samrpart/internal/obs"
 	"samrpart/internal/partition"
 	"samrpart/internal/solver"
 	"samrpart/internal/transport"
@@ -61,6 +62,10 @@ type SPMDConfig struct {
 	// rank kills its endpoint at the start of the given iteration. The
 	// endpoint must implement transport.Killer (wrap it in transport.Faulty).
 	Fault *FaultPlan
+	// Obs, when set, receives per-rank phase spans and transport counters.
+	// Nil disables observability; the run is then bit-identical to an
+	// uninstrumented one.
+	Obs *obs.Runtime
 }
 
 // SPMDResult reports one rank's outcome.
@@ -196,10 +201,17 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 		return runSPMDFT(ep, cfg, res)
 	}
 	k := cfg.Kernel
+	// sc pools the communication buffers across the whole run: ghost
+	// exchange, migration, and every plan rebuild share them. It also
+	// carries the rank's observability handles into the shared paths.
+	var sc commScratch
+	sc.om = newSPMDObs(cfg.Obs, ep.Rank())
 	// --- Initial partition (computed identically on every rank; tiles and
 	// capacities are deterministic, so no broadcast is strictly needed,
 	// but rank 0 broadcasts to guarantee agreement).
+	psp := sc.om.span(obs.PhasePartition)
 	assign, err := cfg.partitionAt(ep, 0, nil, res)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -213,15 +225,13 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 		k.Init(p, cfg.BaseGrid)
 		patches[b] = p
 	}
-	// sc pools the communication buffers across the whole run: ghost
-	// exchange, migration, and every plan rebuild share them.
-	var sc commScratch
 	plan := buildGhostPlan(assign, ep.Rank(), k.Ghost(), "", cfg.PerPairExchange, &sc)
 	// spares double-buffer the per-box patches: each step writes into the
 	// box's spare and retires the current patch, so the steady-state loop
 	// allocates no patch storage.
 	spares := map[geom.Box]*amr.Patch{}
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		sc.om.setIter(iter)
 		// Injected crash: this rank goes silent at the iteration boundary.
 		if cfg.Fault.hits(ep.Rank(), iter) {
 			if err := killEndpoint(ep); err != nil {
@@ -232,7 +242,9 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 		}
 		// Repartition on schedule.
 		if cfg.RepartEvery > 0 && iter > 0 && iter%cfg.RepartEvery == 0 {
+			psp := sc.om.span(obs.PhasePartition)
 			newAssign, err := cfg.partitionAt(ep, iter, assign, res)
+			psp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -271,28 +283,40 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 		}
 		// Overlap: advance interior patches while remote halos are in
 		// flight.
+		csp := sc.om.span(obs.PhaseCompute)
 		for _, b := range plan.interior {
 			stepPatch(k, cfg.BaseGrid, patches, spares, b, dt)
 			res.InteriorSteps++
 		}
+		csp.End()
 		// Ghost exchange, phase 2: block on the remote regions, then
 		// finish the boundary patches.
 		if err := plan.finishRecvs(ep, patches, res); err != nil {
 			return nil, err
 		}
+		bsp := sc.om.span(obs.PhaseCompute)
 		for _, b := range plan.boundary {
 			stepPatch(k, cfg.BaseGrid, patches, spares, b, dt)
 			res.BoundarySteps++
 		}
+		bsp.End()
+		sc.om.sync(res)
 	}
 	finalizeSPMD(res, patches)
+	sc.om.sync(res)
 	return res, nil
 }
 
 // finalizeSPMD fills the result's owned boxes, L1 check sum, and patch map.
+// Boxes are visited in sorted order so the L1 float accumulation is
+// deterministic across runs (map iteration order would perturb the last ULP).
 func finalizeSPMD(res *SPMDResult, patches map[geom.Box]*amr.Patch) {
-	for b, p := range patches {
+	for b := range patches {
 		res.OwnedBoxes = append(res.OwnedBoxes, b)
+	}
+	res.OwnedBoxes.SortBy(func(geom.Box) int64 { return 0 })
+	for _, b := range res.OwnedBoxes {
+		p := patches[b]
 		sum := 0.0
 		p.EachInterior(func(pt geom.Point) { sum += math.Abs(p.At(0, pt)) })
 		res.L1Sum += sum
@@ -415,6 +439,11 @@ type commScratch struct {
 	// query is the spatial-index result scratch for plan building and
 	// redistribution.
 	query []int
+
+	// om is the rank's observability handle set (nil when off). It lives on
+	// the scratch because the scratch already threads through every shared
+	// communication path of both the plain and the fault-tolerant runner.
+	om *spmdObs
 }
 
 // ghostSend is one outgoing remote halo region: src is the owned source
@@ -614,6 +643,7 @@ func (pl *ghostPlan) postSends(ep transport.Endpoint, patches map[geom.Box]*amr.
 			}
 			res.BytesSent += int64(len(sc.bytes))
 			res.MsgsSent++
+			sc.om.peerSent(s.to, len(sc.bytes))
 		}
 	} else {
 		for _, span := range pl.sendPeers {
@@ -630,6 +660,7 @@ func (pl *ghostPlan) postSends(ep transport.Endpoint, patches map[geom.Box]*amr.
 			}
 			res.BytesSent += int64(len(sc.bytes))
 			res.MsgsSent++
+			sc.om.peerSent(span.rank, len(sc.bytes))
 		}
 	}
 	for _, pair := range pl.locals {
@@ -644,6 +675,9 @@ func (pl *ghostPlan) postSends(ep transport.Endpoint, patches map[geom.Box]*amr.
 // frames are validated region by region against the plan.
 func (pl *ghostPlan) finishRecvs(ep transport.Endpoint, patches map[geom.Box]*amr.Patch, res *SPMDResult) error {
 	sc := pl.sc
+	var haloBytes int64
+	wsp := sc.om.span(obs.PhaseHaloWait)
+	defer func() { wsp.EndBytes(haloBytes) }()
 	if pl.perPair {
 		for _, r := range pl.recvs {
 			payload, err := ep.Recv(r.from, r.tag)
@@ -651,6 +685,7 @@ func (pl *ghostPlan) finishRecvs(ep transport.Endpoint, patches map[geom.Box]*am
 				return err
 			}
 			res.MsgsRecvd++
+			haloBytes += int64(len(payload))
 			sc.rfloats, err = transport.DecodeFloats(payload, sc.rfloats)
 			if err != nil {
 				return err
@@ -667,6 +702,7 @@ func (pl *ghostPlan) finishRecvs(ep transport.Endpoint, patches map[geom.Box]*am
 			return err
 		}
 		res.MsgsRecvd++
+		haloBytes += int64(len(payload))
 		sc.rregions, sc.rfloats, err = transport.DecodeFrame(payload, sc.rregions, sc.rfloats)
 		if err != nil {
 			return err
@@ -712,6 +748,9 @@ func redistribute(ep transport.Endpoint, old, next *partition.Assignment, patche
 	if sc == nil {
 		sc = &commScratch{}
 	}
+	msp := sc.om.span(obs.PhaseMigrate)
+	mig0 := res.MigratedBytes
+	defer func() { msp.EndBytes(res.MigratedBytes - mig0) }()
 	me := ep.Rank()
 	out := make(map[geom.Box]*amr.Patch, len(patches))
 	bytesPerCell := int64(k.NumFields()) * 8
@@ -780,6 +819,7 @@ func redistribute(ep transport.Endpoint, old, next *partition.Assignment, patche
 			res.BytesSent += int64(len(sc.bytes))
 			res.MsgsSent++
 			res.MigratedBytes += m.region.Cells() * bytesPerCell
+			sc.om.peerSent(m.peer, len(sc.bytes))
 		}
 		for _, m := range recvs {
 			tag := fmt.Sprintf("%sr%d-%d-%d", prefix, iter, m.dstIdx, m.srcIdx)
@@ -818,6 +858,7 @@ func redistribute(ep transport.Endpoint, old, next *partition.Assignment, patche
 		}
 		res.BytesSent += int64(len(sc.bytes))
 		res.MsgsSent++
+		sc.om.peerSent(sends[lo].peer, len(sc.bytes))
 		lo = hi
 	}
 	for lo := 0; lo < len(recvs); {

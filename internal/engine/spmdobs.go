@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"strconv"
+
+	"samrpart/internal/obs"
+)
+
+// spmdObs holds one rank's pre-registered SPMD metric handles. It hangs off
+// the rank's commScratch so the shared communication paths (postSends,
+// finishRecvs, redistribute) see it from both the plain and the
+// fault-tolerant runner without signature changes. The nil *spmdObs
+// disables everything: every method no-ops, and the run is bit-identical
+// to an uninstrumented one.
+type spmdObs struct {
+	rt   *obs.Runtime
+	reg  *obs.Registry
+	rank int
+	iter int // current iteration, set each step for span attribution
+
+	bytesSent     *obs.Counter
+	msgsSent      *obs.Counter
+	msgsRecvd     *obs.Counter
+	migratedBytes *obs.Counter
+	retainedBytes *obs.Counter
+	interiorSteps *obs.Counter
+	boundarySteps *obs.Counter
+
+	// lastSync snapshots the SPMDResult counters at the previous sync so
+	// the registry mirrors them by cheap deltas once per iteration instead
+	// of hooking every increment site.
+	lastSync SPMDResult
+
+	// peerBytes/peerMsgs cache the per-peer send counters; resolution is a
+	// map hit per message (at most one message per peer per iteration in
+	// coalesced mode), registration only on first contact with a peer.
+	peerBytes map[int]*obs.Counter
+	peerMsgs  map[int]*obs.Counter
+}
+
+// newSPMDObs registers rank's SPMD metric families (nil runtime → nil,
+// everything off).
+func newSPMDObs(rt *obs.Runtime, rank int) *spmdObs {
+	if rt == nil {
+		return nil
+	}
+	reg := rt.Registry()
+	rl := obs.Label{Key: "rank", Value: strconv.Itoa(rank)}
+	return &spmdObs{
+		rt:   rt,
+		reg:  reg,
+		rank: rank,
+		bytesSent: reg.Counter("samr_spmd_bytes_sent_total",
+			"Transport payload bytes sent.", rl),
+		msgsSent: reg.Counter("samr_spmd_msgs_sent_total",
+			"Point-to-point data-plane messages sent.", rl),
+		msgsRecvd: reg.Counter("samr_spmd_msgs_recvd_total",
+			"Point-to-point data-plane messages received.", rl),
+		migratedBytes: reg.Counter("samr_spmd_migrated_bytes_total",
+			"Patch payload bytes shipped to other ranks during redistributions.", rl),
+		retainedBytes: reg.Counter("samr_spmd_retained_bytes_total",
+			"Patch payload bytes repartitions let this rank keep in place.", rl),
+		interiorSteps: reg.Counter("samr_spmd_interior_steps_total",
+			"Patch steps taken while remote halos were in flight.", rl),
+		boundarySteps: reg.Counter("samr_spmd_boundary_steps_total",
+			"Patch steps that waited on remote halo regions.", rl),
+		peerBytes: map[int]*obs.Counter{},
+		peerMsgs:  map[int]*obs.Counter{},
+	}
+}
+
+// setIter records the current iteration for span attribution.
+func (om *spmdObs) setIter(iter int) {
+	if om == nil {
+		return
+	}
+	om.iter = iter
+}
+
+// span starts a phase span on this rank at the current iteration (zero
+// span when off).
+func (om *spmdObs) span(p obs.Phase) obs.Span {
+	if om == nil {
+		return obs.Span{}
+	}
+	return om.rt.Span(p, om.rank, om.iter)
+}
+
+// peerSent charges one outgoing message to the per-peer counters.
+func (om *spmdObs) peerSent(peer int, bytes int) {
+	if om == nil {
+		return
+	}
+	cb := om.peerBytes[peer]
+	if cb == nil {
+		ls := []obs.Label{
+			{Key: "rank", Value: strconv.Itoa(om.rank)},
+			{Key: "peer", Value: strconv.Itoa(peer)},
+		}
+		cb = om.reg.Counter("samr_spmd_peer_bytes_total",
+			"Transport payload bytes sent per peer rank.", ls...)
+		om.peerBytes[peer] = cb
+		om.peerMsgs[peer] = om.reg.Counter("samr_spmd_peer_msgs_total",
+			"Data-plane messages sent per peer rank.", ls...)
+	}
+	cb.Add(int64(bytes))
+	om.peerMsgs[peer].Inc()
+}
+
+// sync mirrors the SPMDResult counters accumulated since the last sync
+// into the registry (called once per iteration and at finalize).
+func (om *spmdObs) sync(res *SPMDResult) {
+	if om == nil {
+		return
+	}
+	om.bytesSent.Add(res.BytesSent - om.lastSync.BytesSent)
+	om.msgsSent.Add(res.MsgsSent - om.lastSync.MsgsSent)
+	om.msgsRecvd.Add(res.MsgsRecvd - om.lastSync.MsgsRecvd)
+	om.migratedBytes.Add(res.MigratedBytes - om.lastSync.MigratedBytes)
+	om.retainedBytes.Add(res.RetainedBytes - om.lastSync.RetainedBytes)
+	om.interiorSteps.Add(res.InteriorSteps - om.lastSync.InteriorSteps)
+	om.boundarySteps.Add(res.BoundarySteps - om.lastSync.BoundarySteps)
+	om.lastSync.BytesSent = res.BytesSent
+	om.lastSync.MsgsSent = res.MsgsSent
+	om.lastSync.MsgsRecvd = res.MsgsRecvd
+	om.lastSync.MigratedBytes = res.MigratedBytes
+	om.lastSync.RetainedBytes = res.RetainedBytes
+	om.lastSync.InteriorSteps = res.InteriorSteps
+	om.lastSync.BoundarySteps = res.BoundarySteps
+}

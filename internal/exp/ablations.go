@@ -61,6 +61,7 @@ func runVariant(name string, mutate func(cfg *engine.Config)) (AblationRow, erro
 		Iterations:  100,
 		RegridEvery: 5,
 		SenseEvery:  20,
+		Obs:         obsRT,
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -175,6 +176,7 @@ func AblationForecaster() (*AblationResult, error) {
 				RegridEvery: 5,
 				SenseEvery:  20,
 				Forecaster:  fc,
+				Obs:         obsRT,
 			}
 			e, err := engine.New(cfg, clus)
 			if err != nil {
@@ -253,6 +255,7 @@ func AblationMemoryWeights() (*AblationResult, error) {
 			Weights:     v.w,
 			Iterations:  60,
 			RegridEvery: 5,
+			Obs:         obsRT,
 		}
 		e, err := engine.New(cfg, clus)
 		if err != nil {
@@ -303,6 +306,7 @@ func AblationLocality() (*AblationResult, error) {
 			Iterations:  100,
 			RegridEvery: 5,
 			SenseEvery:  20,
+			Obs:         obsRT,
 		}
 		e, err := engine.New(cfg, clus)
 		if err != nil {

@@ -120,6 +120,7 @@ func run(rc runConfig) (*trace.RunTrace, error) {
 		Iterations:  rc.iterations,
 		RegridEvery: rc.regridEvery,
 		SenseEvery:  rc.senseEvery,
+		Obs:         obsRT,
 	}
 	e, err := engine.New(cfg, clus)
 	if err != nil {

@@ -77,6 +77,7 @@ func FaultRecovery(iters, crashRank, crashIter int) (*FaultRecoveryResult, error
 			RegridEvery: 5,
 			SenseEvery:  sc.senseEvery,
 			Fault:       sc.fault,
+			Obs:         obsRT,
 		}
 		e, err := engine.New(cfg, clus)
 		if err != nil {
@@ -117,6 +118,7 @@ func FaultRecovery(iters, crashRank, crashIter int) (*FaultRecoveryResult, error
 			Iterations:   iters,
 			RepartEvery:  4,
 			RecvDeadline: 500 * time.Millisecond,
+			Obs:          obsRT,
 			FT: engine.FTConfig{
 				Enabled:         true,
 				CheckpointEvery: 4,

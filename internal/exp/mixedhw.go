@@ -53,6 +53,7 @@ func MixedHardware() (*MixedHardwareResult, error) {
 			Partitioner: p,
 			Iterations:  100,
 			RegridEvery: 5,
+			Obs:         obsRT,
 		}, clus)
 		if err != nil {
 			return nil, nil, err

@@ -57,6 +57,7 @@ func movementConfig(iters int, noRemap bool) engine.SPMDConfig {
 		Iterations:      iters,
 		RepartEvery:     8,
 		NoAffinityRemap: noRemap,
+		Obs:             obsRT,
 	}
 }
 

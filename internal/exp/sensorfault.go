@@ -102,6 +102,7 @@ func SensorFaults(iters int, spec *monitor.ProbeFaultSpec, threshold float64) (*
 			RegridEvery:          5,
 			SenseEvery:           sc.senseEvery,
 			RepartitionThreshold: sc.threshold,
+			Obs:                  obsRT,
 		}
 		if sc.faults {
 			cfg.SensorFaults = &s

@@ -79,6 +79,7 @@ type Monitor struct {
 	hygiene Hygiene
 	health  []nodeHealth
 	stats   SenseStats
+	ob      monObs
 }
 
 // New builds a monitor over the prober, with one forecaster of the given
@@ -138,7 +139,11 @@ func (m *Monitor) Sense(now float64) []capacity.Measurement {
 	defer m.mu.Unlock()
 	out := make([]capacity.Measurement, len(m.nodes))
 	for k := range m.nodes {
+		prevStats := m.stats
+		healthBefore := healthOf(m.health[k].misses, m.hygiene)
+		probeT0 := m.probeStart()
 		truth, err := m.probeOne(k)
+		m.probeDone(probeT0)
 		m.stats.Probes++
 		if err != nil {
 			switch {
@@ -162,6 +167,7 @@ func (m *Monitor) Sense(now float64) []capacity.Measurement {
 			}
 			m.update(k, now, truth)
 			out[k] = m.forecastOf(k)
+			m.syncObs(k, healthBefore, prevStats)
 			continue
 		}
 		reject := err != nil
@@ -185,6 +191,7 @@ func (m *Monitor) Sense(now float64) []capacity.Measurement {
 				m.stats.Decays++
 				out[k] = m.hygiene.decayed(fc, h.misses-m.hygiene.StalenessBudget)
 			}
+			m.syncObs(k, healthBefore, prevStats)
 			continue
 		}
 		h.misses = 0
@@ -193,6 +200,7 @@ func (m *Monitor) Sense(now float64) []capacity.Measurement {
 		h.win[2] = push(h.win[2], truth.BandwidthMBps, m.hygiene.MADWindow)
 		m.update(k, now, truth)
 		out[k] = m.forecastOf(k)
+		m.syncObs(k, healthBefore, prevStats)
 	}
 	m.senses++
 	m.last = out

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Event is one structured log line. Span events carry Phase/DurS (and
+// optionally Bytes); free-form events carry Name/Value. T is seconds since
+// the runtime started, Seq a per-log monotonic sequence number that orders
+// lines written by concurrent ranks.
+type Event struct {
+	Run   string  `json:"run"`
+	Seq   int64   `json:"seq"`
+	T     float64 `json:"t"`
+	Rank  int     `json:"rank"`
+	Iter  int     `json:"iter"`
+	Phase string  `json:"phase,omitempty"`
+	DurS  float64 `json:"dur_s,omitempty"`
+	Bytes int64   `json:"bytes,omitempty"`
+	Name  string  `json:"name,omitempty"`
+	Value float64 `json:"value,omitempty"`
+}
+
+// EventLog writes events as JSON Lines. It is safe for concurrent use and
+// allocation-free in steady state: lines are hand-encoded into a reused
+// scratch buffer under the log's mutex and flow through one bufio.Writer.
+// The nil log discards events.
+type EventLog struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	run string
+	seq int64
+	buf []byte
+}
+
+// NewEventLog wraps w as a JSONL event sink for the given run ID.
+func NewEventLog(w io.Writer, run string) *EventLog {
+	return &EventLog{w: bufio.NewWriterSize(w, 1<<16), run: run}
+}
+
+// span emits one phase-span line.
+func (l *EventLog) span(t float64, rank, iter int, phase string, durS float64, bytes int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.header(t, rank, iter)
+	b = append(b, `,"phase":"`...)
+	b = append(b, phase...)
+	b = append(b, `","dur_s":`...)
+	b = strconv.AppendFloat(b, durS, 'g', -1, 64)
+	if bytes != 0 {
+		b = append(b, `,"bytes":`...)
+		b = strconv.AppendInt(b, bytes, 10)
+	}
+	l.finish(b)
+}
+
+// event emits one free-form line.
+func (l *EventLog) event(t float64, rank, iter int, name string, value float64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.header(t, rank, iter)
+	b = append(b, `,"name":`...)
+	b = strconv.AppendQuote(b, name)
+	if value != 0 {
+		b = append(b, `,"value":`...)
+		b = strconv.AppendFloat(b, value, 'g', -1, 64)
+	}
+	l.finish(b)
+}
+
+// header starts a line in the scratch buffer with the common fields.
+// Callers must hold l.mu.
+func (l *EventLog) header(t float64, rank, iter int) []byte {
+	l.seq++
+	b := l.buf[:0]
+	b = append(b, `{"run":"`...)
+	b = append(b, l.run...)
+	b = append(b, `","seq":`...)
+	b = strconv.AppendInt(b, l.seq, 10)
+	b = append(b, `,"t":`...)
+	b = strconv.AppendFloat(b, t, 'g', -1, 64)
+	b = append(b, `,"rank":`...)
+	b = strconv.AppendInt(b, int64(rank), 10)
+	b = append(b, `,"iter":`...)
+	b = strconv.AppendInt(b, int64(iter), 10)
+	return b
+}
+
+// finish closes the line, writes it, and retires the scratch buffer.
+// Callers must hold l.mu.
+func (l *EventLog) finish(b []byte) {
+	b = append(b, '}', '\n')
+	l.w.Write(b)
+	l.buf = b
+}
+
+// Flush drains the buffered writer.
+func (l *EventLog) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Flush()
+}
+
+// ReadEvents decodes a JSONL event stream (as written by EventLog) into a
+// slice, skipping blank lines. A malformed line is an error, not a skip —
+// a truncated log should be noticed, not silently averaged over.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(text, &ev); err != nil {
+			return nil, fmt.Errorf("obs: event line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading events: %w", err)
+	}
+	return out, nil
+}

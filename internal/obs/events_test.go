@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventLogRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	l := NewEventLog(&sb, "run-test")
+	l.span(0.5, 2, 10, "compute", 0.001, 0)
+	l.span(0.6, 2, 10, "migrate", 0.002, 4096)
+	l.event(0.7, -1, 11, "repartition", 3)
+	l.event(0.8, -1, 11, `quote"name`, 0)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs, err := ReadEvents(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("round trip: %v\nlog:\n%s", err, sb.String())
+	}
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Run != "run-test" {
+			t.Errorf("event %d run = %q", i, ev.Run)
+		}
+		if ev.Seq != int64(i+1) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if evs[0].Phase != "compute" || evs[0].DurS != 0.001 || evs[0].Rank != 2 || evs[0].Iter != 10 {
+		t.Errorf("span 0 = %+v", evs[0])
+	}
+	if evs[1].Bytes != 4096 || evs[1].Phase != "migrate" {
+		t.Errorf("span 1 = %+v", evs[1])
+	}
+	if evs[2].Name != "repartition" || evs[2].Value != 3 || evs[2].Rank != -1 {
+		t.Errorf("event 2 = %+v", evs[2])
+	}
+	if evs[3].Name != `quote"name` {
+		t.Errorf("event 3 name = %q", evs[3].Name)
+	}
+}
+
+func TestNilEventLog(t *testing.T) {
+	var l *EventLog
+	l.span(0, 0, 0, "compute", 0, 0)
+	l.event(0, 0, 0, "x", 1)
+	if err := l.Flush(); err != nil {
+		t.Errorf("nil flush: %v", err)
+	}
+}
+
+func TestReadEventsMalformed(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"run\":\"r\"}\nnot json\n"))
+	if err == nil {
+		t.Fatal("malformed line must error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should name the line: %v", err)
+	}
+}
+
+func TestRunIDDeterministic(t *testing.T) {
+	if RunID(42) != RunID(42) {
+		t.Error("same seed must give same run ID")
+	}
+	if RunID(1) == RunID(2) {
+		t.Error("distinct seeds must give distinct run IDs")
+	}
+	if !strings.HasPrefix(RunID(7), "run-") || len(RunID(7)) != len("run-")+16 {
+		t.Errorf("run ID shape: %q", RunID(7))
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRuntimeIsOff(t *testing.T) {
+	var rt *Runtime
+	if rt.Registry() != nil {
+		t.Error("nil runtime must expose nil registry")
+	}
+	if rt.RunIDString() != "" || rt.Uptime() != 0 {
+		t.Error("nil runtime metadata must be zero")
+	}
+	sp := rt.Span(PhaseCompute, 0, 0)
+	sp.End()
+	sp.EndBytes(10)
+	if rt.PhaseHistogram(PhaseCompute) != nil {
+		t.Error("nil runtime must expose nil histograms")
+	}
+	rt.Event("x", 0, 0, 1)
+	rt.SetState("x", func() any { return 1 })
+	if err := rt.Flush(); err != nil {
+		t.Errorf("nil flush: %v", err)
+	}
+}
+
+func TestRuntimeSpans(t *testing.T) {
+	var sb strings.Builder
+	rt := New(Config{Seed: 42, Events: &sb})
+	if rt.RunIDString() != RunID(42) {
+		t.Errorf("run ID = %q, want %q", rt.RunIDString(), RunID(42))
+	}
+
+	sp := rt.Span(PhaseHaloWait, 3, 17)
+	time.Sleep(time.Millisecond)
+	sp.EndBytes(2048)
+	rt.Span(PhaseCompute, 3, 17).End()
+	rt.Event("fallback", -1, 17, 1)
+	if err := rt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := rt.PhaseHistogram(PhaseHaloWait)
+	if h.Count() != 1 || h.Sum() <= 0 {
+		t.Errorf("halo-wait histogram count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if rt.PhaseHistogram(PhaseCompute).Count() != 1 {
+		t.Error("compute span not recorded")
+	}
+
+	evs, err := ReadEvents(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Phase != "halo-wait" || evs[0].Bytes != 2048 || evs[0].Rank != 3 || evs[0].Iter != 17 {
+		t.Errorf("span event = %+v", evs[0])
+	}
+	if evs[0].DurS <= 0 {
+		t.Errorf("span duration = %g", evs[0].DurS)
+	}
+	if evs[2].Name != "fallback" {
+		t.Errorf("free-form event = %+v", evs[2])
+	}
+
+	// The per-phase histograms must all be registered up front so the
+	// exposition is stable from the first scrape.
+	var exp strings.Builder
+	if err := rt.Registry().WritePrometheus(&exp); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Phases() {
+		if !strings.Contains(exp.String(), `phase="`+p.String()+`"`) {
+			t.Errorf("exposition missing phase %q", p)
+		}
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	want := []string{"sense", "partition", "remap", "compute", "halo-wait", "migrate", "checkpoint"}
+	ps := Phases()
+	if len(ps) != len(want) {
+		t.Fatalf("got %d phases, want %d", len(ps), len(want))
+	}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Errorf("phase %d = %q, want %q", i, p.String(), want[i])
+		}
+	}
+	if Phase(200).String() != "phase(200)" {
+		t.Errorf("out-of-range phase name = %q", Phase(200).String())
+	}
+}

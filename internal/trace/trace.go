@@ -197,6 +197,69 @@ func (t *RunTrace) Summary() string {
 		t.ComputeTime, t.CommTime, t.SenseTime, t.RegridTime, t.MeanMaxImbalance())
 }
 
+// WriteSummary writes the run's full human-readable summary: headline
+// timing, migration volume, and — when the run exercised them — the
+// sensing and control-loop degradation counters. Unlike Summary it
+// propagates writer errors, so callers streaming to files or sockets see
+// short writes instead of silently truncated reports.
+func (t *RunTrace) WriteSummary(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, t.Summary()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "mean node utilization: %.0f%%, redistributed %.1f MB (%.1f MB retained in place)\n",
+		t.MeanUtilization()*100, t.MovedBytes/1e6, t.RetainedBytes/1e6)
+	if err != nil {
+		return err
+	}
+	if t.Sensor.Probes > 0 {
+		_, err = fmt.Fprintf(w, "sensing: %d probes, %d degraded (%d timeouts, %d drops, %d garbage, %d outliers), %d dead sensors\n",
+			t.Sensor.Probes, t.Sensor.Degradations(), t.Sensor.Timeouts,
+			t.Sensor.Drops, t.Sensor.Garbage, t.Sensor.Outliers, t.Sensor.DeadNodes)
+		if err != nil {
+			return err
+		}
+	}
+	if t.Repartitions+t.RepartitionsSkipped+t.Degraded.Total()+t.SenseFailures > 0 {
+		_, err = fmt.Fprintf(w, "control loop: %d repartitions adopted, %d skipped, %d fallbacks, %d failed senses\n",
+			t.Repartitions, t.RepartitionsSkipped, t.Degraded.Total(), t.SenseFailures)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes one row per regrid record: the event coordinates, the
+// believed and ground-truth imbalance, and the per-node capacity/work
+// vectors (vectors are ;-joined so the column count stays fixed across
+// cluster sizes). Writer errors propagate.
+func (t *RunTrace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "regrid,iter,virtual_time_s,boxes,max_imbalance_pct,true_max_imbalance_pct,caps,true_caps,work"); err != nil {
+		return err
+	}
+	join := func(vs []float64) string {
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = strconv.FormatFloat(v, 'g', 6, 64)
+		}
+		return strings.Join(parts, ";")
+	}
+	for _, r := range t.Records {
+		trueImb := ""
+		if r.TrueCaps != nil {
+			trueImb = strconv.FormatFloat(r.TrueMaxImbalance(), 'g', 6, 64)
+		}
+		_, err := fmt.Fprintf(w, "%d,%d,%g,%d,%s,%s,%s,%s,%s\n",
+			r.Regrid, r.Iter, r.VirtualTime, r.Boxes,
+			strconv.FormatFloat(r.MaxImbalance(), 'g', 6, 64), trueImb,
+			join(r.Caps), join(r.TrueCaps), join(r.Work))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Table is a simple aligned-text / CSV table.
 type Table struct {
 	Title  string

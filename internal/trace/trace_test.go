@@ -1,6 +1,9 @@
 package trace
 
 import (
+	"encoding/json"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -109,5 +112,149 @@ func TestSeries(t *testing.T) {
 	}
 	if s.Y[1][1] != 0 {
 		t.Error("missing value not padded")
+	}
+}
+
+// failAfter errors once n bytes have been written, like a full disk or a
+// closed pipe mid-report.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		room := f.n - f.written
+		if room < 0 {
+			room = 0
+		}
+		f.written = f.n
+		return room, errors.New("writer full")
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func sampleTrace() *RunTrace {
+	return &RunTrace{
+		Name:       "hetero/P=4",
+		Nodes:      4,
+		Iterations: 40,
+		ExecTime:   12.5, ComputeTime: 9, CommTime: 2, SenseTime: 1, RegridTime: 0.5,
+		Senses:        8,
+		MovedBytes:    2.5e6,
+		RetainedBytes: 7.5e6,
+		MsgsSent:      1234,
+		Utilization:   []float64{0.9, 0.95, 1, 0.85},
+		Repartitions:  3, RepartitionsSkipped: 2, SenseFailures: 1,
+		Sensor: SensorHealth{Probes: 32, Timeouts: 2, Garbage: 1, Outliers: 3, DeadNodes: 1},
+		Degraded: DegradedCounters{
+			PartitionErrors: 2, InvalidRejected: 1,
+			FallbackHetero: 1, FallbackComposite: 1, KeptLastGood: 1,
+		},
+		Records: []AssignmentRecord{
+			{
+				Regrid: 1, Iter: 5, VirtualTime: 1.5, Boxes: 12,
+				Caps:     []float64{0.16, 0.19, 0.31, 0.34},
+				TrueCaps: []float64{0.25, 0.25, 0.25, 0.25},
+				Work:     []float64{100, 120, 200, 220},
+				Ideal:    []float64{102, 122, 198, 218},
+			},
+			{
+				Regrid: 2, Iter: 10, VirtualTime: 3.1, Boxes: 14,
+				Caps:  []float64{0.2, 0.2, 0.3, 0.3},
+				Work:  []float64{130, 130, 190, 190},
+				Ideal: []float64{128, 128, 192, 192},
+			},
+		},
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	tr := sampleTrace()
+	var sb strings.Builder
+	if err := tr.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"hetero/P=4", "redistributed 2.5 MB", "7.5 MB retained",
+		"32 probes", "6 degraded", "1 dead sensors",
+		"3 repartitions adopted, 2 skipped, 3 fallbacks, 1 failed senses",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// A quiet run (no probes, no control-loop events) prints only the
+	// headline lines.
+	quiet := &RunTrace{Name: "q", Nodes: 2, Iterations: 1, ExecTime: 1}
+	sb.Reset()
+	if err := quiet.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "sensing:") || strings.Contains(sb.String(), "control loop:") {
+		t.Errorf("quiet run printed degradation lines:\n%s", sb.String())
+	}
+
+	for _, budget := range []int{0, 40, 120, 200} {
+		if err := tr.WriteSummary(&failAfter{n: budget}); err == nil {
+			t.Errorf("no error from writer failing after %d bytes", budget)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := sampleTrace()
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "regrid,iter,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "0.16;0.19;0.31;0.34") ||
+		!strings.Contains(lines[1], "0.25;0.25;0.25;0.25") {
+		t.Errorf("row 1 missing caps/true-caps vectors: %q", lines[1])
+	}
+	// Record 2 has no TrueCaps: empty true-imbalance and true-caps columns.
+	if !strings.Contains(lines[2], ",,") {
+		t.Errorf("row 2 should have empty true-cap columns: %q", lines[2])
+	}
+
+	for _, budget := range []int{0, 80} {
+		if err := tr.WriteCSV(&failAfter{n: budget}); err == nil {
+			t.Errorf("no error from writer failing after %d bytes", budget)
+		}
+	}
+}
+
+// TestRunTraceJSONRoundTrip pins the trace's JSON shape: a round trip
+// preserves every field, including the nested DegradedCounters and the
+// optional per-record TrueCaps.
+func TestRunTraceJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunTrace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, &back) {
+		t.Errorf("round trip changed the trace:\n in: %+v\nout: %+v", tr, &back)
+	}
+	if back.Degraded != tr.Degraded {
+		t.Errorf("DegradedCounters lost: %+v", back.Degraded)
+	}
+	if !reflect.DeepEqual(back.Records[0].TrueCaps, tr.Records[0].TrueCaps) ||
+		back.Records[1].TrueCaps != nil {
+		t.Errorf("TrueCaps mis-round-tripped: %+v", back.Records)
 	}
 }

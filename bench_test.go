@@ -403,3 +403,74 @@ func BenchmarkAdvectionStep(b *testing.B) {
 		k.Step(next, cur, g, dt)
 	}
 }
+
+// benchAdvance measures one solver stepping a single patch, reporting cell
+// updates per second. Sub-benchmarks run the fused pencil path ("fused")
+// and the retained per-point reference path ("ref"); the two are
+// bit-identical (see internal/solver/oracle_test.go), so the ratio is pure
+// kernel speedup.
+func benchAdvance(b *testing.B, k solver.Kernel, box geom.Box, h float64) {
+	for _, variant := range []struct {
+		name   string
+		kernel solver.Kernel
+	}{
+		{"fused", k},
+		{"ref", solver.Reference(k)},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			g := solver.UniformGrid(h)
+			cur := amr.NewPatch(box, k.Ghost(), k.NumFields())
+			next := amr.NewPatch(box, k.Ghost(), k.NumFields())
+			k.Init(cur, g)
+			solver.ApplyOutflowBC(cur)
+			dt := k.MaxDT(cur, g)
+			kern := variant.kernel
+			// Warm the scratch pools so the timed loop is steady state.
+			kern.Step(next, cur, g, dt)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kern.Step(next, cur, g, dt)
+			}
+			b.StopTimer()
+			cells := float64(box.Cells()) * float64(b.N)
+			b.ReportMetric(cells/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
+// BenchmarkAdvance2D measures the 2D solver kernels on a 256^2 patch
+// (65536 cell updates per op), fused pencil path vs per-point reference.
+func BenchmarkAdvance2D(b *testing.B) {
+	box := geom.Box2(0, 0, 255, 255)
+	h := 1.0 / 256
+	b.Run("advection", func(b *testing.B) {
+		benchAdvance(b, solver.NewAdvection2D(1, 0.5, 0.5, 0.5, 0.1), box, h)
+	})
+	b.Run("muscl-advection", func(b *testing.B) {
+		benchAdvance(b, solver.NewMUSCLAdvection2D(1, 0.5, 0.5, 0.5, 0.1), box, h)
+	})
+	b.Run("burgers", func(b *testing.B) {
+		benchAdvance(b, solver.NewBurgers2D(), box, h)
+	})
+	b.Run("buckley-leverett", func(b *testing.B) {
+		benchAdvance(b, solver.NewBuckleyLeverett(1, 0.5), box, h)
+	})
+}
+
+// BenchmarkAdvance3D measures the 3D solver kernels on a 32^3 patch
+// (32768 cell updates per op), fused pencil path vs per-point reference.
+// The euler3d-rm fused/ref ratio is the headline number gated in CI
+// (cmd/benchguard requires >= 2x).
+func BenchmarkAdvance3D(b *testing.B) {
+	box := geom.Box3(0, 0, 0, 31, 31, 31)
+	h := 1.0 / 32
+	b.Run("euler3d-rm", func(b *testing.B) {
+		benchAdvance(b, solver.NewRichtmyerMeshkov([geom.MaxDim]float64{1, 1, 1}), box, h)
+	})
+	b.Run("advection", func(b *testing.B) {
+		benchAdvance(b, solver.NewAdvection3D(0.7, -0.4, 0.3, 0.5, 0.5, 0.5, 0.1), box, h)
+	})
+	b.Run("muscl-advection", func(b *testing.B) {
+		benchAdvance(b, solver.NewMUSCLAdvection3D(0.6, -0.8, 0.5, 0.5, 0.5, 0.5, 0.1), box, h)
+	})
+}

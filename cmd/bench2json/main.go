@@ -5,78 +5,19 @@
 //
 // Non-benchmark lines (PASS, ok, logs) are ignored. Each benchmark line
 // becomes one object with the iteration count and the per-op metrics that
-// were present on the line.
+// were present on the line. Parsing lives in internal/benchfmt, shared with
+// cmd/benchguard.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
+
+	"samrpart/internal/benchfmt"
 )
-
-// Result is one parsed benchmark line. Metrics carries every custom
-// per-op metric emitted via b.ReportMetric (e.g. msgs_sent/op,
-// migrated_B/op from BenchmarkSPMDExchange), keyed by its unit.
-type Result struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  int64              `json:"b_per_op,omitempty"`
-	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// parse extracts benchmark results from go test output. A benchmark line
-// is "Name N" followed by (value, unit) pairs; the three standard units
-// fill the typed fields, anything else lands in Metrics.
-func parse(r io.Reader) ([]Result, error) {
-	var out []Result
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") ||
-			len(fields[0]) <= len("Benchmark") {
-			continue
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		res := Result{Name: fields[0], Iterations: iters}
-		sawNs := false
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				break
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				res.NsPerOp = v
-				sawNs = true
-			case "B/op":
-				res.BytesPerOp = int64(v)
-			case "allocs/op":
-				res.AllocsPerOp = int64(v)
-			default:
-				if res.Metrics == nil {
-					res.Metrics = map[string]float64{}
-				}
-				res.Metrics[unit] = v
-			}
-		}
-		if !sawNs {
-			continue
-		}
-		out = append(out, res)
-	}
-	return out, sc.Err()
-}
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
@@ -92,7 +33,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	results, err := parse(in)
+	results, err := benchfmt.Parse(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)

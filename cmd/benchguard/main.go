@@ -1,0 +1,240 @@
+// Command benchguard gates CI on benchmark results, benchstat-style but
+// dependency-free. It reads current `go test -bench` text output (file
+// argument or stdin) and applies two kinds of checks:
+//
+//   - A before/after regression gate against a committed JSON baseline
+//     (bench2json format, e.g. BENCH_SEED.json): every baseline benchmark
+//     whose name matches -match and appears in the current run must not be
+//     more than -tolerance slower. Because the baseline was recorded on a
+//     different machine than the CI runner, comparisons are normalized by
+//     the median current/baseline ratio across all matched benchmarks: a
+//     uniformly slower machine shifts every ratio equally and passes, while
+//     a single benchmark regressing relative to its peers fails. Pass
+//     -normalize=false for same-machine comparisons.
+//
+//   - Hardware-independent speedup gates: -speedup name:min requires the
+//     current run to contain name/ref and name/fused sub-benchmarks with
+//     ref_ns/fused_ns >= min. This is how CI enforces the fused pencil
+//     kernels staying >= 2x faster than the retained reference path.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_SEED.json -match 'Advance|SPMD' bench.txt
+//	benchguard -speedup 'BenchmarkAdvance3D/euler3d-rm:2.0' advance.txt
+//
+// Exit status is non-zero if any gate fails or any named benchmark is
+// missing from the input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"samrpart/internal/benchfmt"
+)
+
+type speedupGate struct {
+	name string
+	min  float64
+}
+
+func parseSpeedups(spec string) ([]speedupGate, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var gates []speedupGate
+	for _, part := range strings.Split(spec, ",") {
+		i := strings.LastIndexByte(part, ':')
+		if i < 0 {
+			return nil, fmt.Errorf("speedup gate %q: want name:min", part)
+		}
+		min, err := strconv.ParseFloat(part[i+1:], 64)
+		if err != nil || min <= 0 {
+			return nil, fmt.Errorf("speedup gate %q: bad minimum", part)
+		}
+		gates = append(gates, speedupGate{name: part[:i], min: min})
+	}
+	return gates, nil
+}
+
+// index maps GOMAXPROCS-stripped benchmark names to results.
+func index(results []benchfmt.Result) map[string]benchfmt.Result {
+	m := make(map[string]benchfmt.Result, len(results))
+	for _, r := range results {
+		m[benchfmt.BaseName(r.Name)] = r
+	}
+	return m
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return 0.5 * (s[n/2-1] + s[n/2])
+}
+
+// checkBaseline compares current against baseline and returns the failure
+// messages (empty means pass).
+func checkBaseline(cur map[string]benchfmt.Result, baseline []benchfmt.Result,
+	match *regexp.Regexp, tolerance float64, normalize bool, w io.Writer) []string {
+
+	type pair struct {
+		name       string
+		base, curr float64
+	}
+	var pairs []pair
+	var missing []string
+	for _, b := range baseline {
+		name := benchfmt.BaseName(b.Name)
+		if !match.MatchString(name) || b.NsPerOp <= 0 {
+			continue
+		}
+		c, ok := cur[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		pairs = append(pairs, pair{name, b.NsPerOp, c.NsPerOp})
+	}
+
+	var fails []string
+	for _, name := range missing {
+		fails = append(fails, fmt.Sprintf("baseline benchmark %s missing from current run", name))
+	}
+	if len(pairs) == 0 {
+		if len(missing) == 0 {
+			fails = append(fails, fmt.Sprintf("no baseline benchmarks match %v", match))
+		}
+		return fails
+	}
+
+	scale := 1.0
+	if normalize {
+		ratios := make([]float64, len(pairs))
+		for i, p := range pairs {
+			ratios[i] = p.curr / p.base
+		}
+		scale = median(ratios)
+	}
+	fmt.Fprintf(w, "benchguard: %d benchmarks vs baseline, machine scale %.3fx, tolerance %.0f%%\n",
+		len(pairs), scale, tolerance*100)
+	for _, p := range pairs {
+		rel := p.curr / (p.base * scale)
+		status := "ok"
+		if rel > 1+tolerance {
+			status = "REGRESSION"
+			fails = append(fails, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.0f%% over normalized baseline)",
+				p.name, p.curr, p.base, (rel-1)*100))
+		}
+		fmt.Fprintf(w, "  %-60s %12.0f ns/op  baseline %12.0f  norm %+.1f%%  %s\n",
+			p.name, p.curr, p.base, (rel-1)*100, status)
+	}
+	return fails
+}
+
+// checkSpeedups verifies each ref/fused pair and returns failure messages.
+func checkSpeedups(cur map[string]benchfmt.Result, gates []speedupGate, w io.Writer) []string {
+	var fails []string
+	for _, g := range gates {
+		ref, okR := cur[g.name+"/ref"]
+		fused, okF := cur[g.name+"/fused"]
+		if !okR || !okF {
+			fails = append(fails, fmt.Sprintf("%s: missing %s/ref or %s/fused in current run",
+				g.name, g.name, g.name))
+			continue
+		}
+		if fused.NsPerOp <= 0 {
+			fails = append(fails, fmt.Sprintf("%s: non-positive fused ns/op", g.name))
+			continue
+		}
+		ratio := ref.NsPerOp / fused.NsPerOp
+		status := "ok"
+		if ratio < g.min {
+			status = "TOO SLOW"
+			fails = append(fails, fmt.Sprintf("%s: fused is %.2fx faster than ref, need >= %.2fx",
+				g.name, ratio, g.min))
+		}
+		fmt.Fprintf(w, "  %-60s fused %.2fx faster than ref (need >= %.2fx)  %s\n",
+			g.name, ratio, g.min, status)
+	}
+	return fails
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "JSON baseline (bench2json format) for the regression gate")
+	matchExpr := flag.String("match", "Advance|SPMD", "regexp of benchmark names the baseline gate checks")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional slowdown vs (normalized) baseline")
+	normalize := flag.Bool("normalize", true, "normalize by the median current/baseline ratio (cross-machine)")
+	speedups := flag.String("speedup", "", "comma-separated name:min fused-vs-ref speedup gates")
+	flag.Parse()
+
+	gates, err := parseSpeedups(*speedups)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if *baselinePath == "" && len(gates) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: nothing to do (need -baseline and/or -speedup)")
+		os.Exit(2)
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := benchfmt.Parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark lines found in input")
+		os.Exit(2)
+	}
+	cur := index(results)
+
+	var fails []string
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		var baseline []benchfmt.Result
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *baselinePath, err)
+			os.Exit(2)
+		}
+		re, err := regexp.Compile(*matchExpr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		fails = append(fails, checkBaseline(cur, baseline, re, *tolerance, *normalize, os.Stdout)...)
+	}
+	fails = append(fails, checkSpeedups(cur, gates, os.Stdout)...)
+
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all gates passed")
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"io"
+	"regexp"
+	"strings"
+	"testing"
+
+	"samrpart/internal/benchfmt"
+)
+
+func parseText(t *testing.T, text string) map[string]benchfmt.Result {
+	t.Helper()
+	rs, err := benchfmt.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return index(rs)
+}
+
+func baseline(t *testing.T, text string) []benchfmt.Result {
+	t.Helper()
+	rs, err := benchfmt.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+const seedText = `
+BenchmarkAdvance3D/euler3d-rm/fused-8   100   9000000 ns/op
+BenchmarkAdvance2D/burgers/fused-8      100    220000 ns/op
+BenchmarkSPMDExchange/ranks=4-8           1  52000000 ns/op
+BenchmarkOther-8                        100      1000 ns/op
+`
+
+func TestBaselinePassesOnUniformSlowdown(t *testing.T) {
+	// Same relative profile, machine uniformly 3x slower: normalization
+	// must absorb the shift.
+	cur := parseText(t, `
+BenchmarkAdvance3D/euler3d-rm/fused-4   100  27000000 ns/op
+BenchmarkAdvance2D/burgers/fused-4      100    660000 ns/op
+BenchmarkSPMDExchange/ranks=4-4           1 156000000 ns/op
+`)
+	fails := checkBaseline(cur, baseline(t, seedText),
+		regexp.MustCompile(`Advance|SPMD`), 0.10, true, io.Discard)
+	if len(fails) != 0 {
+		t.Fatalf("uniform slowdown flagged: %v", fails)
+	}
+}
+
+func TestBaselineCatchesSingleRegression(t *testing.T) {
+	// One benchmark 2x slower while its peers hold: must fail even under
+	// normalization.
+	cur := parseText(t, `
+BenchmarkAdvance3D/euler3d-rm/fused-8   100  18000000 ns/op
+BenchmarkAdvance2D/burgers/fused-8      100    220000 ns/op
+BenchmarkSPMDExchange/ranks=4-8           1  52000000 ns/op
+`)
+	fails := checkBaseline(cur, baseline(t, seedText),
+		regexp.MustCompile(`Advance|SPMD`), 0.10, true, io.Discard)
+	if len(fails) != 1 || !strings.Contains(fails[0], "euler3d-rm") {
+		t.Fatalf("regression not caught: %v", fails)
+	}
+}
+
+func TestBaselineIgnoresUnmatchedNames(t *testing.T) {
+	// BenchmarkOther regresses 100x but is outside -match.
+	cur := parseText(t, `
+BenchmarkAdvance3D/euler3d-rm/fused-8   100   9000000 ns/op
+BenchmarkAdvance2D/burgers/fused-8      100    220000 ns/op
+BenchmarkSPMDExchange/ranks=4-8           1  52000000 ns/op
+BenchmarkOther-8                        100    100000 ns/op
+`)
+	fails := checkBaseline(cur, baseline(t, seedText),
+		regexp.MustCompile(`Advance|SPMD`), 0.10, true, io.Discard)
+	if len(fails) != 0 {
+		t.Fatalf("unmatched benchmark gated: %v", fails)
+	}
+}
+
+func TestBaselineFailsOnMissingBenchmark(t *testing.T) {
+	cur := parseText(t, `
+BenchmarkAdvance3D/euler3d-rm/fused-8   100   9000000 ns/op
+BenchmarkSPMDExchange/ranks=4-8           1  52000000 ns/op
+`)
+	fails := checkBaseline(cur, baseline(t, seedText),
+		regexp.MustCompile(`Advance|SPMD`), 0.10, true, io.Discard)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Fatalf("missing benchmark not reported: %v", fails)
+	}
+}
+
+func TestSpeedupGate(t *testing.T) {
+	cur := parseText(t, `
+BenchmarkAdvance3D/euler3d-rm/fused-8   100   9000000 ns/op
+BenchmarkAdvance3D/euler3d-rm/ref-8     100  26000000 ns/op
+BenchmarkAdvance2D/burgers/fused-8      100    220000 ns/op
+BenchmarkAdvance2D/burgers/ref-8        100    230000 ns/op
+`)
+	gates, err := parseSpeedups("BenchmarkAdvance3D/euler3d-rm:2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := checkSpeedups(cur, gates, io.Discard); len(fails) != 0 {
+		t.Fatalf("2.9x speedup failed a 2x gate: %v", fails)
+	}
+	gates, err = parseSpeedups("BenchmarkAdvance2D/burgers:2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := checkSpeedups(cur, gates, io.Discard)
+	if len(fails) != 1 || !strings.Contains(fails[0], "need >= 2.00x") {
+		t.Fatalf("1.05x speedup passed a 2x gate: %v", fails)
+	}
+	gates, err = parseSpeedups("BenchmarkAdvance3D/missing:2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := checkSpeedups(cur, gates, io.Discard); len(fails) != 1 {
+		t.Fatalf("missing pair not reported: %v", fails)
+	}
+}
+
+func TestParseSpeedupsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"noColon", "a:b", "a:-1", "a:0"} {
+		if _, err := parseSpeedups(bad); err == nil {
+			t.Errorf("parseSpeedups(%q) accepted", bad)
+		}
+	}
+	gates, err := parseSpeedups("A:2,B/sub:1.5")
+	if err != nil || len(gates) != 2 || gates[1].name != "B/sub" || gates[1].min != 1.5 {
+		t.Errorf("multi-gate spec mis-parsed: %v %v", gates, err)
+	}
+}

@@ -93,6 +93,37 @@ func (p *Patch) Field(f int) []float64 {
 	return p.data[f*p.fsize : (f+1)*p.fsize]
 }
 
+// Pencil returns field f over the full padded x-extent of the row at
+// (y, z): a slice of length Padded().Size(0) whose element i is the cell
+// at x = Padded().Lo[0]+i. For rank-2 patches z must be 0, for rank-1
+// patches y and z must be 0. The slice aliases the patch storage, so
+// writes through it are writes into the patch. It panics when f, y or z
+// lie outside the patch — pencils are the hot-path accessor, so the
+// bounds contract is checked here once per row instead of per cell.
+func (p *Patch) Pencil(f, y, z int) []float64 {
+	if f < 0 || f >= p.NumFields {
+		panic(fmt.Sprintf("amr: Pencil field %d out of range [0,%d)", f, p.NumFields))
+	}
+	if p.Box.Rank < 3 && z != 0 || p.Box.Rank >= 3 && (z < p.padded.Lo[2] || z > p.padded.Hi[2]) {
+		panic(fmt.Sprintf("amr: Pencil z=%d outside padded box %v", z, p.padded))
+	}
+	if p.Box.Rank < 2 && y != 0 || p.Box.Rank >= 2 && (y < p.padded.Lo[1] || y > p.padded.Hi[1]) {
+		panic(fmt.Sprintf("amr: Pencil y=%d outside padded box %v", y, p.padded))
+	}
+	off := f * p.fsize
+	if p.Box.Rank >= 2 {
+		off += (y - p.padded.Lo[1]) * p.stride[1]
+	}
+	if p.Box.Rank >= 3 {
+		off += (z - p.padded.Lo[2]) * p.stride[2]
+	}
+	return p.data[off : off+p.padded.Size(0)]
+}
+
+// PencilIndex translates a cell x-coordinate into an index of a Pencil
+// slice (also valid into Field storage relative to the row base).
+func (p *Patch) PencilIndex(x int) int { return x - p.padded.Lo[0] }
+
 // Stride returns the linear stride of axis d in Field storage.
 func (p *Patch) Stride(d int) int { return p.stride[d] }
 
@@ -189,13 +220,28 @@ func CopyOverlap(dst, src *Patch) int64 {
 	if region.Empty() {
 		return 0
 	}
+	// Row-at-a-time copies: both layouts are x-fastest, so every (y, z) row
+	// of the overlap is one contiguous run in each patch.
+	nx := region.Size(0)
 	for f := 0; f < dst.NumFields; f++ {
 		df, sf := dst.Field(f), src.Field(f)
-		dst.eachIn(region, func(pt geom.Point) {
-			df[dst.offset(pt)] = sf[src.offset(pt)]
-		})
+		for z := region.Lo[2]; z <= region.Hi[2]; z++ {
+			for y := region.Lo[1]; y <= region.Hi[1]; y++ {
+				do := dst.rowOffset(region.Lo[0], y, z)
+				so := src.rowOffset(region.Lo[0], y, z)
+				copy(df[do:do+nx], sf[so:so+nx])
+			}
+		}
 	}
 	return region.Cells()
+}
+
+// rowOffset returns the linear index of cell (x, y, z) within the padded
+// box; axes beyond the rank must be zero (their Lo/stride are 0/0).
+func (p *Patch) rowOffset(x, y, z int) int {
+	return (x-p.padded.Lo[0])*p.stride[0] +
+		(y-p.padded.Lo[1])*p.stride[1] +
+		(z-p.padded.Lo[2])*p.stride[2]
 }
 
 // MaxAbs returns the maximum absolute interior value of field f, a cheap
@@ -203,11 +249,17 @@ func CopyOverlap(dst, src *Patch) int64 {
 func (p *Patch) MaxAbs(f int) float64 {
 	max := 0.0
 	fd := p.Field(f)
-	p.EachInterior(func(pt geom.Point) {
-		if v := math.Abs(fd[p.offset(pt)]); v > max {
-			max = v
+	nx := p.Box.Size(0)
+	for z := p.Box.Lo[2]; z <= p.Box.Hi[2]; z++ {
+		for y := p.Box.Lo[1]; y <= p.Box.Hi[1]; y++ {
+			row := fd[p.rowOffset(p.Box.Lo[0], y, z):]
+			for i := 0; i < nx; i++ {
+				if v := math.Abs(row[i]); v > max {
+					max = v
+				}
+			}
 		}
-	})
+	}
 	return max
 }
 
@@ -215,8 +267,14 @@ func (p *Patch) MaxAbs(f int) float64 {
 func (p *Patch) L1(f int) float64 {
 	sum := 0.0
 	fd := p.Field(f)
-	p.EachInterior(func(pt geom.Point) {
-		sum += math.Abs(fd[p.offset(pt)])
-	})
+	nx := p.Box.Size(0)
+	for z := p.Box.Lo[2]; z <= p.Box.Hi[2]; z++ {
+		for y := p.Box.Lo[1]; y <= p.Box.Hi[1]; y++ {
+			row := fd[p.rowOffset(p.Box.Lo[0], y, z):]
+			for i := 0; i < nx; i++ {
+				sum += math.Abs(row[i])
+			}
+		}
+	}
 	return sum / float64(p.Box.Cells())
 }

@@ -1,0 +1,147 @@
+package amr
+
+import (
+	"testing"
+
+	"samrpart/internal/geom"
+)
+
+// TestPencilMatchesAt checks that Pencil row views agree with At/Set cell
+// addressing over every row of the padded box, for every field, across
+// ranks, ghost widths and boxes away from the origin.
+func TestPencilMatchesAt(t *testing.T) {
+	boxes := []geom.Box{
+		geom.NewBox(1, geom.Point{-3}, geom.Point{5}),
+		geom.Box2(0, 0, 6, 4),
+		geom.Box2(-2, 7, 1, 12),
+		geom.Box3(0, 0, 0, 3, 4, 5),
+		geom.Box3(-1, 2, -3, 2, 2, 1), // one cell wide in y
+	}
+	for _, box := range boxes {
+		for _, ghost := range []int{0, 1, 2, 4} {
+			p := NewPatch(box, ghost, 2)
+			// Stamp a unique value per (field, cell) through Set.
+			n := 0.0
+			for f := 0; f < p.NumFields; f++ {
+				p.eachIn(p.padded, func(pt geom.Point) {
+					p.Set(f, pt, n)
+					n++
+				})
+			}
+			padded := p.Padded()
+			for f := 0; f < p.NumFields; f++ {
+				for z := padded.Lo[2]; z <= padded.Hi[2]; z++ {
+					for y := padded.Lo[1]; y <= padded.Hi[1]; y++ {
+						row := p.Pencil(f, y, z)
+						if len(row) != padded.Size(0) {
+							t.Fatalf("box %v ghost %d: pencil len %d, want %d", box, ghost, len(row), padded.Size(0))
+						}
+						for x := padded.Lo[0]; x <= padded.Hi[0]; x++ {
+							pt := geom.Point{x, y, z}
+							if got, want := row[p.PencilIndex(x)], p.At(f, pt); got != want {
+								t.Fatalf("box %v ghost %d f %d %v: pencil %v, At %v", box, ghost, f, pt, got, want)
+							}
+						}
+					}
+				}
+			}
+			// Writes through a pencil land in the patch.
+			row := p.Pencil(1, box.Lo[1], box.Lo[2])
+			row[p.PencilIndex(box.Lo[0])] = -42
+			if got := p.At(1, box.Lo); got != -42 {
+				t.Fatalf("box %v: write through pencil not visible, At=%v", box, got)
+			}
+		}
+	}
+}
+
+// TestPencilBounds checks the panic contract on out-of-range rows/fields.
+func TestPencilBounds(t *testing.T) {
+	p := NewPatch(geom.Box2(0, 0, 7, 7), 2, 1)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("field", func() { p.Pencil(1, 0, 0) })
+	mustPanic("neg field", func() { p.Pencil(-1, 0, 0) })
+	mustPanic("y below halo", func() { p.Pencil(0, -3, 0) })
+	mustPanic("y above halo", func() { p.Pencil(0, 10, 0) })
+	mustPanic("z on rank-2", func() { p.Pencil(0, 0, 1) })
+	// Halo rows are valid.
+	if got := len(p.Pencil(0, -2, 0)); got != 12 {
+		t.Fatalf("halo pencil len %d, want 12", got)
+	}
+}
+
+// FuzzPencil drives the pencil accessor with fuzzed box bounds, ghost
+// widths and row coordinates: in-range rows must match At exactly, and
+// out-of-range rows must panic rather than alias a neighboring row.
+func FuzzPencil(f *testing.F) {
+	f.Add(2, 0, 0, 7, 7, 0, 2, 1, 3, 0)
+	f.Add(3, -2, 1, 4, 6, 5, 1, 2, 0, 2)
+	f.Add(2, 5, -3, 5, -3, 0, 0, 1, -3, 0)
+	f.Fuzz(func(t *testing.T, rank, lox, loy, hix, hiy, loz, ghost, fields, y, z int) {
+		if rank < 1 || rank > 3 {
+			return
+		}
+		clamp := func(v int) int {
+			if v < -16 {
+				return -16
+			}
+			if v > 16 {
+				return 16
+			}
+			return v
+		}
+		lo := geom.Point{clamp(lox), clamp(loy), clamp(loz)}
+		hi := geom.Point{clamp(hix), clamp(hiy), clamp(loz) + 3}
+		for d := 0; d < rank; d++ {
+			if hi[d] < lo[d] {
+				lo[d], hi[d] = hi[d], lo[d]
+			}
+		}
+		box := geom.NewBox(rank, lo, hi)
+		if box.Empty() || box.Cells() > 1<<14 {
+			return
+		}
+		if ghost < 0 || ghost > 4 {
+			return
+		}
+		if fields < 1 || fields > 3 {
+			return
+		}
+		p := NewPatch(box, ghost, fields)
+		for i, fd := 0.0, p.Field(fields-1); i < float64(len(fd)); i++ {
+			fd[int(i)] = i + 0.25
+		}
+		padded := p.Padded()
+		if rank < 2 {
+			y = 0
+		}
+		if rank < 3 {
+			z = 0
+		}
+		inRange := (rank < 2 || y >= padded.Lo[1] && y <= padded.Hi[1]) &&
+			(rank < 3 || z >= padded.Lo[2] && z <= padded.Hi[2])
+		defer func() {
+			if r := recover(); r != nil && inRange {
+				t.Fatalf("in-range pencil (y=%d z=%d padded %v) panicked: %v", y, z, padded, r)
+			}
+		}()
+		row := p.Pencil(fields-1, y, z)
+		if !inRange {
+			t.Fatalf("out-of-range pencil (y=%d z=%d padded %v) did not panic", y, z, padded)
+		}
+		for x := padded.Lo[0]; x <= padded.Hi[0]; x++ {
+			pt := geom.Point{x, y, z}
+			if got, want := row[p.PencilIndex(x)], p.At(fields-1, pt); got != want {
+				t.Fatalf("pencil[%d]=%v, At(%v)=%v", p.PencilIndex(x), got, pt, want)
+			}
+		}
+	})
+}

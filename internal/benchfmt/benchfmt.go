@@ -1,0 +1,86 @@
+// Package benchfmt parses `go test -bench` text output into structured
+// results. It is shared by cmd/bench2json (benchmark artifacts) and
+// cmd/benchguard (benchmark regression gating).
+package benchfmt
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line. Metrics carries every custom
+// per-op metric emitted via b.ReportMetric (e.g. cells/s from the solver
+// Advance benches, msgs_sent/op from BenchmarkSPMDExchange), keyed by its
+// unit.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"b_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BaseName strips the trailing -N GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkFoo/bar-8" -> "BenchmarkFoo/bar"), so results
+// compare across machines with different core counts.
+func BaseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Parse extracts benchmark results from go test output. A benchmark line
+// is "Name N" followed by (value, unit) pairs; the three standard units
+// fill the typed fields, anything else lands in Metrics. Non-benchmark
+// lines (PASS, ok, logs) are ignored.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") ||
+			len(fields[0]) <= len("Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters}
+		sawNs := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+				sawNs = true
+			case "B/op":
+				res.BytesPerOp = int64(v)
+			case "allocs/op":
+				res.AllocsPerOp = int64(v)
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		if !sawNs {
+			continue
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}

@@ -1,4 +1,4 @@
-package main
+package benchfmt
 
 import (
 	"strings"
@@ -17,7 +17,7 @@ ok      samrpart/internal/engine        3.412s
 `
 
 func TestParse(t *testing.T) {
-	results, err := parse(strings.NewReader(sample))
+	results, err := Parse(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestParseCustomMetrics(t *testing.T) {
 	line := "BenchmarkSPMDExchange-8   22   50123456 ns/op   " +
 		"1344 msgs_sent/op   1344 msgs_recvd/op   262144 migrated_B/op   " +
 		"524288 retained_B/op   0.0042 halo_wait_s/op   8123456 B/op   91234 allocs/op\n"
-	results, err := parse(strings.NewReader(line))
+	results, err := Parse(strings.NewReader(line))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestParseCustomMetrics(t *testing.T) {
 }
 
 func TestParseFractionalNs(t *testing.T) {
-	results, err := parse(strings.NewReader(
+	results, err := Parse(strings.NewReader(
 		"BenchmarkTiny-8   1000000000   0.3137 ns/op\n"))
 	if err != nil {
 		t.Fatal(err)
@@ -80,11 +80,26 @@ func TestParseFractionalNs(t *testing.T) {
 }
 
 func TestParseIgnoresNoise(t *testing.T) {
-	results, err := parse(strings.NewReader("PASS\nok x 1s\n--- BENCH: foo\nBenchmark\n"))
+	results, err := Parse(strings.NewReader("PASS\nok x 1s\n--- BENCH: foo\nBenchmark\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(results) != 0 {
 		t.Fatalf("noise parsed as results: %+v", results)
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":                      "BenchmarkFoo",
+		"BenchmarkFoo/bar-16":                 "BenchmarkFoo/bar",
+		"BenchmarkFoo":                        "BenchmarkFoo",
+		"BenchmarkAdvance3D/euler3d-rm":       "BenchmarkAdvance3D/euler3d-rm",
+		"BenchmarkAdvance3D/euler3d-rm/ref-4": "BenchmarkAdvance3D/euler3d-rm/ref",
+	}
+	for in, want := range cases {
+		if got := BaseName(in); got != want {
+			t.Errorf("BaseName(%q) = %q, want %q", in, got, want)
+		}
 	}
 }

@@ -107,8 +107,80 @@ func (b *BuckleyLeverett) MaxDT(_ *amr.Patch, g Grid) float64 {
 	return b.CFL / rate
 }
 
-// Step implements Kernel: conservative upwind differencing of v·f(s).
+// Step implements Kernel: conservative upwind differencing of v·f(s),
+// fused over x-pencils. The fractional flow f(s) — the expensive per-cell
+// rational function — is evaluated once per cell into rolling row caches
+// (rows y-1, y, y+1) instead of ~6 times as in the per-point reference
+// (once per axis for the cell itself plus once per neighboring cell that
+// reads it). frac is pure, so the caching is bit-identical.
 func (b *BuckleyLeverett) Step(next, cur *amr.Patch, g Grid, dt float64) {
+	src, dst := cur.Field(0), next.Field(0)
+	box := cur.Box
+	nx := box.Size(0)
+	vx, vy := b.Velocity[0], b.Velocity[1]
+	cx := dt / g.H[0]
+	cy := dt / g.H[1]
+	// frac rows span the interior x-extent grown by one cell on each side;
+	// cell x = Lo[0]+i sits at row index i+1.
+	nfx := nx + 2
+	frAp, frBp, frCp := getRow(nfx), getRow(nfx), getRow(nfx)
+	defer putRow(frAp)
+	defer putRow(frBp)
+	defer putRow(frCp)
+	frA, frB, frC := *frAp, *frBp, *frCp // rows y-1, y, y+1
+	fracRow := func(dst []float64, y int) {
+		base := rowBase(cur, box.Lo[0]-1, y, 0)
+		for j := 0; j < nfx; j++ {
+			dst[j] = b.frac(src[base+j])
+		}
+	}
+	fracRow(frA, box.Lo[1]-1)
+	fracRow(frB, box.Lo[1])
+	for y := box.Lo[1]; y <= box.Hi[1]; y++ {
+		fracRow(frC, y+1)
+		sb := rowBase(cur, box.Lo[0], y, 0)
+		db := rowBase(next, box.Lo[0], y, 0)
+		for i := 0; i < nx; i++ {
+			s := src[sb+i]
+			acc := s
+			fs := frB[i+1]
+			if vx != 0 {
+				var fluxIn, fluxOut float64
+				if vx > 0 {
+					fluxIn = vx * frB[i]
+					fluxOut = vx * fs
+				} else {
+					fluxIn = vx * fs
+					fluxOut = vx * frB[i+2]
+				}
+				acc -= cx * (fluxOut - fluxIn)
+			}
+			if vy != 0 {
+				var fluxIn, fluxOut float64
+				if vy > 0 {
+					fluxIn = vy * frA[i+1]
+					fluxOut = vy * fs
+				} else {
+					fluxIn = vy * fs
+					fluxOut = vy * frC[i+1]
+				}
+				acc -= cy * (fluxOut - fluxIn)
+			}
+			// Clamp: upwind under CFL keeps s in [0,1]; the clamp guards
+			// halo boundary transients.
+			if acc < 0 {
+				acc = 0
+			} else if acc > 1 {
+				acc = 1
+			}
+			dst[db+i] = acc
+		}
+		frA, frB, frC = frB, frC, frA
+	}
+}
+
+// stepRef is the retained per-point reference implementation.
+func (b *BuckleyLeverett) stepRef(next, cur *amr.Patch, g Grid, dt float64) {
 	src, dst := cur.Field(0), next.Field(0)
 	cur.EachInterior(func(pt geom.Point) {
 		off := offsetOf(cur, pt)
@@ -143,7 +215,15 @@ func (b *BuckleyLeverett) Step(next, cur *amr.Patch, g Grid, dt float64) {
 	})
 }
 
+// maxDTRef mirrors MaxDT, which has no per-cell sweep to fuse.
+func (b *BuckleyLeverett) maxDTRef(p *amr.Patch, g Grid) float64 { return b.MaxDT(p, g) }
+
 // Flag implements Kernel: refine at the saturation front.
 func (b *BuckleyLeverett) Flag(p *amr.Patch, g Grid, f *amr.FlagField, threshold float64) {
+	gradientFlagPencil(p, 0, 1.0, threshold, f)
+}
+
+// flagRef is the retained per-point reference implementation.
+func (b *BuckleyLeverett) flagRef(p *amr.Patch, g Grid, f *amr.FlagField, threshold float64) {
 	GradientFlag(p, 0, 1.0, threshold, f)
 }

@@ -108,16 +108,24 @@ type state struct {
 }
 
 func (e *Euler3D) decode(p *amr.Patch, off int) state {
+	return e.decodeVals(p.Field(QRho)[off], p.Field(QMomX)[off],
+		p.Field(QMomY)[off], p.Field(QMomZ)[off], p.Field(QEner)[off])
+}
+
+// decodeVals converts one cell's conserved values to primitives; the fused
+// pencil path decodes from raw field rows through the same function, so
+// both paths produce bit-identical states.
+func (e *Euler3D) decodeVals(rho, momx, momy, momz, ener float64) state {
 	var s state
-	s.rho = p.Field(QRho)[off]
+	s.rho = rho
 	if s.rho < 1e-12 {
 		s.rho = 1e-12
 	}
-	s.u = p.Field(QMomX)[off] / s.rho
-	s.v = p.Field(QMomY)[off] / s.rho
-	s.w = p.Field(QMomZ)[off] / s.rho
+	s.u = momx / s.rho
+	s.v = momy / s.rho
+	s.w = momz / s.rho
 	kin := 0.5 * s.rho * (s.u*s.u + s.v*s.v + s.w*s.w)
-	s.p = (e.Gamma - 1) * (p.Field(QEner)[off] - kin)
+	s.p = (e.Gamma - 1) * (ener - kin)
 	if s.p < 1e-12 {
 		s.p = 1e-12
 	}
@@ -150,8 +158,8 @@ func (s state) cons() [qN]float64 {
 	return q
 }
 
-// MaxDT implements Kernel.
-func (e *Euler3D) MaxDT(p *amr.Patch, g Grid) float64 {
+// maxDTRef is the retained per-point reference implementation.
+func (e *Euler3D) maxDTRef(p *amr.Patch, g Grid) float64 {
 	maxRate := 0.0
 	p.EachInterior(func(pt geom.Point) {
 		s := e.decode(p, offsetOf(p, pt))
@@ -168,8 +176,8 @@ func (e *Euler3D) MaxDT(p *amr.Patch, g Grid) float64 {
 	return e.CFL / maxRate
 }
 
-// Step implements Kernel.
-func (e *Euler3D) Step(next, cur *amr.Patch, g Grid, dt float64) {
+// stepRef is the retained per-point reference implementation.
+func (e *Euler3D) stepRef(next, cur *amr.Patch, g Grid, dt float64) {
 	gamma := e.Gamma
 	cur.EachInterior(func(pt geom.Point) {
 		off := offsetOf(cur, pt)
@@ -216,6 +224,15 @@ func rusanov(l, r state, d int, gamma float64) [qN]float64 {
 // Flag implements Kernel: refine where the density gradient is steep,
 // normalized by the light/heavy contrast.
 func (e *Euler3D) Flag(p *amr.Patch, g Grid, f *amr.FlagField, threshold float64) {
+	scale := e.RhoHeavy - e.RhoLight
+	if scale <= 0 {
+		scale = 1
+	}
+	gradientFlagPencil(p, QRho, scale, threshold, f)
+}
+
+// flagRef is the retained per-point reference implementation.
+func (e *Euler3D) flagRef(p *amr.Patch, g Grid, f *amr.FlagField, threshold float64) {
 	scale := e.RhoHeavy - e.RhoLight
 	if scale <= 0 {
 		scale = 1

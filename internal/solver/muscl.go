@@ -46,6 +46,16 @@ func NewMUSCLAdvection2D(vx, vy, cx, cy, width float64) *MUSCLAdvection {
 	}
 }
 
+// NewMUSCLAdvection3D returns a 3D MUSCL kernel with a Gaussian pulse.
+func NewMUSCLAdvection3D(vx, vy, vz, cx, cy, cz, width float64) *MUSCLAdvection {
+	return &MUSCLAdvection{
+		Dim:      3,
+		Velocity: [geom.MaxDim]float64{vx, vy, vz},
+		Center:   [geom.MaxDim]float64{cx, cy, cz},
+		Width:    width,
+	}
+}
+
 // Name implements Kernel.
 func (a *MUSCLAdvection) Name() string { return "muscl-advection" }
 
@@ -148,10 +158,11 @@ func (a *MUSCLAdvection) rhs(p *amr.Patch, src []float64, g Grid, pt geom.Point)
 	return acc
 }
 
-// Step implements Kernel with the two-stage SSP-RK2 (Heun) integrator:
+// stepRef is the retained per-point reference implementation of the
+// two-stage SSP-RK2 (Heun) integrator:
 // u1 = u + dt L(u) on the interior grown by two cells, then
 // u <- (u + u1 + dt L(u1)) / 2 on the interior.
-func (a *MUSCLAdvection) Step(next, cur *amr.Patch, g Grid, dt float64) {
+func (a *MUSCLAdvection) stepRef(next, cur *amr.Patch, g Grid, dt float64) {
 	src, dst := cur.Field(0), next.Field(0)
 	// Stage 1 into a pooled scratch buffer covering the padded region; cells
 	// not recomputed keep the old value (only interior+2 is read by stage 2).
@@ -197,5 +208,13 @@ func forEachIn(p *amr.Patch, region geom.Box, fn func(pt geom.Point)) {
 
 // Flag implements Kernel.
 func (a *MUSCLAdvection) Flag(p *amr.Patch, g Grid, f *amr.FlagField, threshold float64) {
+	gradientFlagPencil(p, 0, 1.0, threshold, f)
+}
+
+// flagRef is the retained per-point reference implementation.
+func (a *MUSCLAdvection) flagRef(p *amr.Patch, g Grid, f *amr.FlagField, threshold float64) {
 	GradientFlag(p, 0, 1.0, threshold, f)
 }
+
+// maxDTRef mirrors MaxDT, which has no per-cell sweep to fuse.
+func (a *MUSCLAdvection) maxDTRef(p *amr.Patch, g Grid) float64 { return a.MaxDT(p, g) }

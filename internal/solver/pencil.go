@@ -1,0 +1,139 @@
+package solver
+
+import (
+	"sync"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/geom"
+)
+
+// This file holds the shared machinery of the pencil-fused kernel paths:
+// row-base offset math, pooled scratch rows, the fused gradient flagger and
+// the Reference wrapper that re-exposes the retained per-point kernels.
+//
+// The fused kernels sweep x-pencils — contiguous runs of cells along the
+// x-fastest storage axis — and reuse face fluxes across adjacent cells via
+// carried scalars (x faces), rolling row buffers (y faces) and rolling plane
+// buffers (z faces), so every face flux is evaluated exactly once per sweep
+// (tile-boundary faces excepted). All arithmetic mirrors the reference
+// per-point kernels expression by expression, which is what makes the fused
+// paths bit-identical: flux and reconstruction functions are pure, so
+// computing a face value once and reusing it cannot change any cell result.
+
+// rowBase returns the linear index of cell (x, y, z) within p's field
+// storage. Axes beyond p's rank must be zero (their stride is zero, their
+// padded Lo is zero).
+func rowBase(p *amr.Patch, x, y, z int) int {
+	pad := p.Padded()
+	off := x - pad.Lo[0]
+	if p.Box.Rank >= 2 {
+		off += (y - pad.Lo[1]) * p.Stride(1)
+	}
+	if p.Box.Rank >= 3 {
+		off += (z - pad.Lo[2]) * p.Stride(2)
+	}
+	return off
+}
+
+// rowPool recycles flux/reconstruction row and plane scratch across steps
+// and worker goroutines, keeping the fused hot path allocation-free once
+// warm (same contract as stagePool).
+var rowPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getRow returns an n-element scratch slice from the pool.
+func getRow(n int) *[]float64 {
+	sp := rowPool.Get().(*[]float64)
+	if cap(*sp) < n {
+		*sp = make([]float64, n)
+	}
+	*sp = (*sp)[:n]
+	return sp
+}
+
+func putRow(sp *[]float64) { rowPool.Put(sp) }
+
+// gradientFlagPencil is the fused counterpart of GradientFlag: one pencil
+// sweep per interior row with direct neighbor indexing instead of a closure
+// and per-point offset recomputation. Bit-identical flag decisions.
+func gradientFlagPencil(p *amr.Patch, field int, scale, threshold float64, flags *amr.FlagField) {
+	if scale <= 0 {
+		scale = 1
+	}
+	fd := p.Field(field)
+	box := p.Box
+	rank := box.Rank
+	sy, sz := p.Stride(1), p.Stride(2)
+	nx := box.Size(0)
+	var pt geom.Point
+	for z := box.Lo[2]; z <= box.Hi[2]; z++ {
+		pt[2] = z
+		for y := box.Lo[1]; y <= box.Hi[1]; y++ {
+			pt[1] = y
+			b := rowBase(p, box.Lo[0], y, z)
+			for i := 0; i < nx; i++ {
+				off := b + i
+				grad := 0.0
+				dv := (fd[off+1] - fd[off-1]) / 2
+				if dv < 0 {
+					dv = -dv
+				}
+				grad += dv
+				if rank >= 2 {
+					dv = (fd[off+sy] - fd[off-sy]) / 2
+					if dv < 0 {
+						dv = -dv
+					}
+					grad += dv
+				}
+				if rank >= 3 {
+					dv = (fd[off+sz] - fd[off-sz]) / 2
+					if dv < 0 {
+						dv = -dv
+					}
+					grad += dv
+				}
+				if grad/scale > threshold {
+					pt[0] = box.Lo[0] + i
+					flags.Set(pt)
+				}
+			}
+		}
+	}
+}
+
+// refKernel is implemented by kernels that retain their original per-point
+// implementation alongside the fused pencil path. The reference methods are
+// the differential oracle the fused kernels are proven bit-identical
+// against.
+type refKernel interface {
+	Kernel
+	stepRef(next, cur *amr.Patch, g Grid, dt float64)
+	maxDTRef(p *amr.Patch, g Grid) float64
+	flagRef(p *amr.Patch, g Grid, f *amr.FlagField, threshold float64)
+}
+
+// Reference returns a Kernel whose Step, MaxDT and Flag run k's retained
+// per-point reference implementation instead of the fused pencil path.
+// Kernels without a reference path are returned unchanged. The wrapper is
+// used by the bit-exactness oracle tests and the before/after benchmarks;
+// it shares Init, Ghost and the rest of the kernel surface with k.
+func Reference(k Kernel) Kernel {
+	if r, ok := k.(refKernel); ok {
+		return &referenceKernel{r}
+	}
+	return k
+}
+
+type referenceKernel struct{ refKernel }
+
+func (r *referenceKernel) Step(next, cur *amr.Patch, g Grid, dt float64) {
+	r.stepRef(next, cur, g, dt)
+}
+
+func (r *referenceKernel) MaxDT(p *amr.Patch, g Grid) float64 {
+	return r.maxDTRef(p, g)
+}
+
+func (r *referenceKernel) Flag(p *amr.Patch, g Grid, f *amr.FlagField, threshold float64) {
+	r.flagRef(p, g, f, threshold)
+}

@@ -38,7 +38,8 @@ func hygieneConfig(on bool) monitor.Hygiene {
 func main() {
 	var (
 		nodes     = flag.Int("nodes", 4, "cluster size")
-		pname     = flag.String("partitioner", "hetero", "hetero | composite | sfchetero | levelwise | greedy | roundrobin")
+		pname     = flag.String("partitioner", "hetero", "hetero | composite | sfchetero | levelwise | hierarchical | greedy | roundrobin")
+		groupSize = flag.Int("group-size", 4, "nodes per capacity group for -partitioner hierarchical")
 		kernel    = flag.String("kernel", "rm3d", "rm3d (oracle-driven) | advect2d | muscl2d | buckley (real numerics)")
 		iters     = flag.Int("iters", 50, "coarse iterations")
 		regrid    = flag.Int("regrid", 5, "regrid every N iterations")
@@ -133,7 +134,9 @@ func main() {
 	case "levelwise":
 		p = partition.NewLevelWise(2)
 	case "hierarchical":
-		p = partition.NewHierarchical(2)
+		h := partition.NewHierarchical(2)
+		h.GroupSize = *groupSize
+		p = h
 	default:
 		fmt.Fprintf(os.Stderr, "amrun: unknown partitioner %q\n", *pname)
 		os.Exit(2)

@@ -17,10 +17,17 @@
 //     ref_ns/fused_ns >= min. This is how CI enforces the fused pencil
 //     kernels staying >= 2x faster than the retained reference path.
 //
+//   - General ratio gates: -ratio name:num/den:min requires the current run
+//     to contain name/num and name/den sub-benchmarks with
+//     num_ns/den_ns >= min. This is the speedup gate with the pair of
+//     sub-benchmark suffixes spelled out, e.g. central/distributed for the
+//     repartition plan builders.
+//
 // Usage:
 //
 //	benchguard -baseline BENCH_SEED.json -match 'Advance|SPMD' bench.txt
 //	benchguard -speedup 'BenchmarkAdvance3D/euler3d-rm:2.0' advance.txt
+//	benchguard -ratio 'BenchmarkRepartitionPlan/boxes=4096/ranks=64:central/distributed:5.0' bench.txt
 //
 // Exit status is non-zero if any gate fails or any named benchmark is
 // missing from the input.
@@ -60,6 +67,35 @@ func parseSpeedups(spec string) ([]speedupGate, error) {
 			return nil, fmt.Errorf("speedup gate %q: bad minimum", part)
 		}
 		gates = append(gates, speedupGate{name: part[:i], min: min})
+	}
+	return gates, nil
+}
+
+type ratioGate struct {
+	name     string
+	num, den string
+	min      float64
+}
+
+func parseRatios(spec string) ([]ratioGate, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var gates []ratioGate
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("ratio gate %q: want name:num/den:min", part)
+		}
+		subs := strings.Split(fields[1], "/")
+		if len(subs) != 2 || subs[0] == "" || subs[1] == "" {
+			return nil, fmt.Errorf("ratio gate %q: want num/den sub-benchmark pair", part)
+		}
+		min, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || min <= 0 {
+			return nil, fmt.Errorf("ratio gate %q: bad minimum", part)
+		}
+		gates = append(gates, ratioGate{name: fields[0], num: subs[0], den: subs[1], min: min})
 	}
 	return gates, nil
 }
@@ -170,12 +206,42 @@ func checkSpeedups(cur map[string]benchfmt.Result, gates []speedupGate, w io.Wri
 	return fails
 }
 
+// checkRatios verifies each num/den sub-benchmark pair and returns failure
+// messages.
+func checkRatios(cur map[string]benchfmt.Result, gates []ratioGate, w io.Writer) []string {
+	var fails []string
+	for _, g := range gates {
+		num, okN := cur[g.name+"/"+g.num]
+		den, okD := cur[g.name+"/"+g.den]
+		if !okN || !okD {
+			fails = append(fails, fmt.Sprintf("%s: missing %s/%s or %s/%s in current run",
+				g.name, g.name, g.num, g.name, g.den))
+			continue
+		}
+		if den.NsPerOp <= 0 {
+			fails = append(fails, fmt.Sprintf("%s: non-positive %s ns/op", g.name, g.den))
+			continue
+		}
+		ratio := num.NsPerOp / den.NsPerOp
+		status := "ok"
+		if ratio < g.min {
+			status = "TOO SLOW"
+			fails = append(fails, fmt.Sprintf("%s: %s is %.2fx slower than %s, need >= %.2fx",
+				g.name, g.num, ratio, g.den, g.min))
+		}
+		fmt.Fprintf(w, "  %-60s %s/%s ratio %.2fx (need >= %.2fx)  %s\n",
+			g.name, g.num, g.den, ratio, g.min, status)
+	}
+	return fails
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "", "JSON baseline (bench2json format) for the regression gate")
 	matchExpr := flag.String("match", "Advance|SPMD", "regexp of benchmark names the baseline gate checks")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional slowdown vs (normalized) baseline")
 	normalize := flag.Bool("normalize", true, "normalize by the median current/baseline ratio (cross-machine)")
 	speedups := flag.String("speedup", "", "comma-separated name:min fused-vs-ref speedup gates")
+	ratios := flag.String("ratio", "", "comma-separated name:num/den:min sub-benchmark ratio gates")
 	flag.Parse()
 
 	gates, err := parseSpeedups(*speedups)
@@ -183,7 +249,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(2)
 	}
-	if *baselinePath == "" && len(gates) == 0 {
+	rgates, err := parseRatios(*ratios)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if *baselinePath == "" && len(gates) == 0 && len(rgates) == 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: nothing to do (need -baseline and/or -speedup)")
 		os.Exit(2)
 	}
@@ -229,6 +300,7 @@ func main() {
 		fails = append(fails, checkBaseline(cur, baseline, re, *tolerance, *normalize, os.Stdout)...)
 	}
 	fails = append(fails, checkSpeedups(cur, gates, os.Stdout)...)
+	fails = append(fails, checkRatios(cur, rgates, os.Stdout)...)
 
 	if len(fails) > 0 {
 		for _, f := range fails {

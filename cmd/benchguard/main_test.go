@@ -122,6 +122,52 @@ BenchmarkAdvance2D/burgers/ref-8        100    230000 ns/op
 	}
 }
 
+func TestRatioGate(t *testing.T) {
+	cur := parseText(t, `
+BenchmarkRepartitionPlan/boxes=4096/ranks=64/distributed-8   100    560000 ns/op
+BenchmarkRepartitionPlan/boxes=4096/ranks=64/central-8        10  45000000 ns/op
+BenchmarkRepartitionPlan/boxes=256/ranks=16/distributed-8    100     40000 ns/op
+BenchmarkRepartitionPlan/boxes=256/ranks=16/central-8        100    100000 ns/op
+`)
+	gates, err := parseRatios("BenchmarkRepartitionPlan/boxes=4096/ranks=64:central/distributed:5.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := checkRatios(cur, gates, io.Discard); len(fails) != 0 {
+		t.Fatalf("80x ratio failed a 5x gate: %v", fails)
+	}
+	gates, err = parseRatios("BenchmarkRepartitionPlan/boxes=256/ranks=16:central/distributed:5.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := checkRatios(cur, gates, io.Discard)
+	if len(fails) != 1 || !strings.Contains(fails[0], "need >= 5.00x") {
+		t.Fatalf("2.5x ratio passed a 5x gate: %v", fails)
+	}
+	gates, err = parseRatios("BenchmarkRepartitionPlan/boxes=9999/ranks=1:central/distributed:5.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := checkRatios(cur, gates, io.Discard); len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Fatalf("missing pair not reported: %v", fails)
+	}
+}
+
+func TestParseRatiosRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"noColon", "a:b:2", "a:num/:2", "a:/den:2", "a:num/den:x", "a:num/den:-1", "a:num/den:0", "a:num/den"} {
+		if _, err := parseRatios(bad); err == nil {
+			t.Errorf("parseRatios(%q) accepted", bad)
+		}
+	}
+	gates, err := parseRatios("A:c/d:2,B/sub:x/y:1.5")
+	if err != nil || len(gates) != 2 {
+		t.Fatalf("multi-gate spec mis-parsed: %v %v", gates, err)
+	}
+	if g := gates[1]; g.name != "B/sub" || g.num != "x" || g.den != "y" || g.min != 1.5 {
+		t.Errorf("gate fields mis-parsed: %+v", g)
+	}
+}
+
 func TestParseSpeedupsRejectsGarbage(t *testing.T) {
 	for _, bad := range []string{"noColon", "a:b", "a:-1", "a:0"} {
 		if _, err := parseSpeedups(bad); err == nil {

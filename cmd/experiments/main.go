@@ -48,6 +48,11 @@ type options struct {
 	movement  *bool
 	sensorStr *string
 
+	weakScaling *bool
+	weakRanks   *int
+	groupSize   *int
+	csvPath     *string
+
 	repartThresh *float64
 	workers      *int
 	cpuProf      *string
@@ -75,6 +80,10 @@ func registerFlags(fs *flag.FlagSet) *options {
 	o.movement = fs.Bool("movement", false, "migration-cost study: repartitioning with and without the owner-affinity remap")
 	o.sensorStr = fs.String("sensor-fault-spec", "",
 		"sensor faults for -sensorfault (default: the study's built-in spec), e.g. sensor:seed=7,frac=0.25,garbage=0.3")
+	o.weakScaling = fs.Bool("weak-scaling", false, "weak-scaling study: distributed vs centralized repartition plan construction on virtual clusters")
+	o.weakRanks = fs.Int("weak-ranks", 4096, "largest virtual rank count for -weak-scaling (ladder: 16, 64, 256, 1024, 4096)")
+	o.groupSize = fs.Int("group-size", 64, "hierarchical partitioner group size for -weak-scaling")
+	o.csvPath = fs.String("csv", "", "also write the -weak-scaling sweep as CSV to this file")
 	o.repartThresh = fs.Float64("repartition-threshold", 0,
 		"hysteresis threshold for the -sensorfault hygiene scenario (imbalance percentage points)")
 	o.workers = fs.Int("workers", 0, "cap scheduler threads via GOMAXPROCS (0 = leave as-is); experiment configs drive solver kernels internally, so this bounds their pool width")
@@ -90,7 +99,8 @@ func main() {
 	o := registerFlags(flag.CommandLine)
 	flag.Parse()
 	if !(*o.all || *o.fig7 || *o.fig8 || *o.fig11 || *o.table2 || *o.table3 ||
-		*o.ablations || *o.scaling || *o.faultExp || *o.sensorExp || *o.movement) {
+		*o.ablations || *o.scaling || *o.faultExp || *o.sensorExp || *o.movement ||
+		*o.weakScaling) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -189,6 +199,23 @@ func main() {
 		{*o.all || *o.faultExp, "Fault recovery", func() (renderable, error) { return exp.FaultRecovery(16, fault.Rank, fault.Iter) }},
 		{*o.all || *o.sensorExp, "Degraded sensing", func() (renderable, error) { return exp.SensorFaults(40, sensorSpec, *o.repartThresh) }},
 		{*o.all || *o.movement, "Migration cost", func() (renderable, error) { return exp.Movement(16) }},
+		{*o.all || *o.weakScaling, "Weak scaling (plan construction)", func() (renderable, error) {
+			r, err := exp.WeakScaling(*o.weakRanks, *o.groupSize)
+			if err != nil {
+				return nil, err
+			}
+			if *o.csvPath != "" {
+				f, err := os.Create(*o.csvPath)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				if err := r.WriteCSV(f); err != nil {
+					return nil, err
+				}
+			}
+			return r, nil
+		}},
 		{*o.all || *o.scaling, "Strong scaling", func() (renderable, error) { return exp.Scalability() }},
 		{*o.all || *o.scaling, "Heterogeneity sweep", func() (renderable, error) { return exp.HeterogeneitySweep() }},
 		{*o.all || *o.scaling, "Mixed hardware", func() (renderable, error) { return exp.MixedHardware() }},

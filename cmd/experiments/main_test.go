@@ -18,6 +18,7 @@ func TestAllFlagsRegistered(t *testing.T) {
 		"ablations", "fault", "fault-spec", "sensorfault", "movement",
 		"sensor-fault-spec", "repartition-threshold", "workers",
 		"cpuprofile", "memprofile", "obs-addr", "events", "obs-seed",
+		"weak-scaling", "weak-ranks", "group-size", "csv",
 	} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+
+	"samrpart/internal/geom"
+	"samrpart/internal/partition"
+)
+
+// This file retains the coordinator-style plan construction the distributed
+// per-rank builders replaced: one global pass over the whole assignment
+// derives every rank's ghost and migration plan at once, exactly what each
+// rank used to compute for itself by scanning the full owner table. It
+// survives for two jobs — as the differential oracle the tests hold the
+// distributed builders to (plans must match bit-for-bit, per rank), and as
+// the baseline the weak-scaling study and BenchmarkRepartitionPlan measure
+// the distributed builders against. SPMDConfig.CentralPlans routes a live
+// run through it.
+
+// centralGhostPlans builds the ghost-exchange plan of every rank in one
+// global pass: each box is probed against the uniform-grid index, and the
+// resulting sends, receives, and local copies are appended to the owning
+// rank's plan. Per-plan canonical order comes from the shared finish step,
+// so a rank's plan here is bit-identical to buildGhostPlan's.
+func centralGhostPlans(a *partition.Assignment, size, ghost int, prefix string, perPair bool) []*ghostPlan {
+	plans := make([]*ghostPlan, size)
+	needsRemote := make([]map[geom.Box]bool, size)
+	for r := range plans {
+		plans[r] = &ghostPlan{perPair: perPair}
+		needsRemote[r] = map[geom.Box]bool{}
+	}
+	idx := geom.NewIndex(a.Boxes)
+	var hits []int
+	for i, bi := range a.Boxes {
+		oi := a.Owners[i]
+		pl := plans[oi]
+		grown := bi.Grow(ghost)
+		hits = idx.Query(grown, hits)
+		for _, j := range hits {
+			if j == i {
+				continue
+			}
+			bj := a.Boxes[j]
+			oj := a.Owners[j]
+			if oj == oi {
+				pl.locals = append(pl.locals, [2]geom.Box{bi, bj})
+				continue
+			}
+			pl.recvs = append(pl.recvs, ghostRecv{
+				dstIdx: i, srcIdx: j, dst: bi, region: grown.Intersect(bj),
+				from: oj, tag: fmt.Sprintf("%sg%d-%d", prefix, i, j),
+			})
+			needsRemote[oi][bi] = true
+			pl.sends = append(pl.sends, ghostSend{
+				dstIdx: j, srcIdx: i, src: bi, region: bj.Grow(ghost).Intersect(bi),
+				to: oj, tag: fmt.Sprintf("%sg%d-%d", prefix, j, i),
+			})
+		}
+	}
+	for _, pl := range plans {
+		pl.finish(prefix)
+	}
+	for i, b := range a.Boxes {
+		o := a.Owners[i]
+		if needsRemote[o][b] {
+			plans[o].boundary = append(plans[o].boundary, b)
+		} else {
+			plans[o].interior = append(plans[o].interior, b)
+		}
+	}
+	return plans
+}
+
+// centralMigPlans builds the migration plan of every rank for an old→next
+// repartition in one global pass: each new box is probed against the index
+// over the old tiling, and every overlapping (old, new) region is filed as
+// retained (owner unchanged), a send on the old owner, and a receive on the
+// new owner. Per-plan canonical order comes from the shared finish step, so
+// a rank's plan here is bit-identical to buildMigPlan's.
+func centralMigPlans(old, next *partition.Assignment, size int) []migPlan {
+	plans := make([]migPlan, size)
+	idx := geom.NewIndex(old.Boxes)
+	var hits []int
+	for i, nb := range next.Boxes {
+		no := next.Owners[i]
+		hits = idx.Query(nb, hits)
+		for _, j := range hits {
+			ob := old.Boxes[j]
+			oo := old.Owners[j]
+			m := migRegion{dstIdx: i, srcIdx: j, dst: nb, src: ob, region: nb.Intersect(ob)}
+			if oo == no {
+				m.peer = no
+				plans[no].retained = append(plans[no].retained, m)
+				continue
+			}
+			m.peer = no
+			plans[oo].sends = append(plans[oo].sends, m)
+			m.peer = oo
+			plans[no].recvs = append(plans[no].recvs, m)
+		}
+	}
+	for r := range plans {
+		plans[r].finish()
+	}
+	return plans
+}

@@ -120,7 +120,7 @@ type spmdRun struct {
 	epoch    int // bumped per recovery; namespaces all tags
 	lastPart int // iteration of the last (re)partition
 
-	assign  *partition.Assignment
+	assign  *asnView
 	plan    *ghostPlan
 	patches map[geom.Box]*amr.Patch
 	spares  map[geom.Box]*amr.Patch
@@ -241,16 +241,15 @@ func (r *spmdRun) setup(iter int) error {
 	if err != nil {
 		return err
 	}
-	r.assign = asn
-	r.plan = buildGhostPlan(asn, r.me(), k.Ghost(), r.prefix(), r.cfg.PerPairExchange, &r.sc)
+	v := newAsnView(asn, r.me())
+	r.assign = v
+	r.plan = r.cfg.ghostPlanAt(v, r.me(), r.ep.Size(), k.Ghost(), r.prefix(), &r.sc)
 	r.spares = map[geom.Box]*amr.Patch{}
 	r.lastPart = iter
 	if iter == 0 {
 		r.patches = map[geom.Box]*amr.Patch{}
-		for i, b := range asn.Boxes {
-			if asn.Owners[i] != r.me() {
-				continue
-			}
+		for _, i := range v.mine {
+			b := asn.Boxes[i]
 			p := amr.NewPatch(b, k.Ghost(), k.NumFields())
 			k.Init(p, r.cfg.BaseGrid)
 			r.patches[b] = p
@@ -521,15 +520,16 @@ func (r *spmdRun) step(iter int) error {
 		// of two assignments, so every rank derives the same labels without a
 		// broadcast.
 		if !cfg.NoAffinityRemap {
-			newAssign = partition.RemapOwners(r.assign, newAssign)
+			newAssign = partition.RemapOwners(r.assign.Assignment, newAssign)
 		}
+		newView := newAsnView(newAssign, r.me())
 		psp.End()
-		r.patches, err = redistribute(r.ep, r.assign, newAssign, r.patches, k, iter, r.res, r.prefix(), cfg.PerPairExchange, &r.sc)
+		r.patches, err = redistribute(r.ep, r.assign, newView, r.patches, k, iter, r.res, r.prefix(), cfg.PerPairExchange, cfg.CentralPlans, &r.sc)
 		if err != nil {
 			return err
 		}
-		r.assign = newAssign
-		r.plan = buildGhostPlan(newAssign, r.me(), k.Ghost(), r.prefix(), cfg.PerPairExchange, &r.sc)
+		r.assign = newView
+		r.plan = r.cfg.ghostPlanAt(newView, r.me(), r.ep.Size(), k.Ghost(), r.prefix(), &r.sc)
 		clear(r.spares)
 		r.lastPart = iter
 		r.res.Repartitions++

@@ -52,6 +52,13 @@ type SPMDConfig struct {
 	// per-pair path survives as a debug fallback and oracle for the
 	// coalesced protocol.
 	PerPairExchange bool
+	// CentralPlans rebuilds communication plans through the retained
+	// coordinator-style full build — every rank's ghost and migration plan
+	// derived in one global pass — instead of the default distributed
+	// per-rank builders. Both paths produce bit-identical plans; the central
+	// path survives as the differential oracle and as the baseline the
+	// weak-scaling study measures the distributed builders against.
+	CentralPlans bool
 	// NoAffinityRemap disables the movement-aware owner relabeling
 	// (partition.RemapOwners) applied after each scheduled repartition, so
 	// experiments can measure the migration volume it saves.
@@ -170,10 +177,99 @@ func (c SPMDConfig) tiles() geom.BoxList {
 	return out
 }
 
-// wireAssignment is the broadcast form of an assignment.
+// wireAssignment is the broadcast form of an assignment. The full form
+// carries the whole box→owner table; the delta form (Delta true) carries
+// only the owners that changed relative to the standing assignment, which
+// every rank already holds — the compact broadcast that keeps repartition
+// traffic proportional to how much ownership actually moved, not to total
+// box count. The delta form is only valid when the repartition kept the box
+// list itself unchanged (owner-only moves, the steady state).
 type wireAssignment struct {
+	Delta  bool
 	Boxes  []geom.Box
 	Owners []int
+	// Changed/NewOwners are the delta form: Changed[i] is a box index in
+	// the standing assignment whose owner becomes NewOwners[i]. Ascending.
+	Changed   []int32
+	NewOwners []int32
+}
+
+// asnView pairs the shared assignment with the ascending indexes of one
+// rank's own boxes. Plan construction iterates the mine list — O(own boxes)
+// — instead of rescanning the global owner table, and delta broadcasts
+// maintain the list incrementally, so per-rank repartition cost stops
+// growing with total box count.
+type asnView struct {
+	*partition.Assignment
+	mine []int
+}
+
+// newAsnView builds a view by scanning the owner table (used after a full
+// broadcast or a locally computed assignment).
+func newAsnView(a *partition.Assignment, me int) *asnView {
+	v := &asnView{Assignment: a}
+	for i, o := range a.Owners {
+		if o == me {
+			v.mine = append(v.mine, i)
+		}
+	}
+	return v
+}
+
+// applyDelta derives the new view from prev and an owner-delta broadcast:
+// owners and per-node work are copied and patched, and the mine list is
+// merged incrementally from the (ascending) changed indexes.
+func applyDelta(prev *asnView, wire *wireAssignment, me int) *asnView {
+	owners := append([]int(nil), prev.Owners...)
+	work := append([]float64(nil), prev.Work...)
+	var add, del []int
+	for k, ci := range wire.Changed {
+		i, no := int(ci), int(wire.NewOwners[k])
+		oo := owners[i]
+		if oo == no {
+			continue
+		}
+		w := partition.CellWork(prev.Boxes[i])
+		work[oo] -= w
+		work[no] += w
+		owners[i] = no
+		if oo == me {
+			del = append(del, i)
+		}
+		if no == me {
+			add = append(add, i)
+		}
+	}
+	a := &partition.Assignment{
+		Boxes:  prev.Boxes,
+		Owners: owners,
+		Work:   work,
+		Ideal:  make([]float64, len(work)),
+	}
+	return &asnView{Assignment: a, mine: mergeMine(prev.mine, add, del)}
+}
+
+// mergeMine merges sorted additions into and removes sorted deletions from
+// a sorted index list, allocating only when membership changed.
+func mergeMine(mine, add, del []int) []int {
+	if len(add) == 0 && len(del) == 0 {
+		return mine
+	}
+	out := make([]int, 0, len(mine)+len(add)-len(del))
+	ai, di := 0, 0
+	for _, m := range mine {
+		for ai < len(add) && add[ai] < m {
+			out = append(out, add[ai])
+			ai++
+		}
+		if di < len(del) && del[di] == m {
+			di++
+			continue
+		}
+		out = append(out, m)
+	}
+	out = append(out, add[ai:]...)
+	return out
 }
 
 // RunSPMDRank executes one rank of the SPMD program. Every rank must call
@@ -217,15 +313,13 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 	}
 	// Allocate + init owned patches.
 	patches := map[geom.Box]*amr.Patch{}
-	for i, b := range assign.Boxes {
-		if assign.Owners[i] != ep.Rank() {
-			continue
-		}
+	for _, i := range assign.mine {
+		b := assign.Boxes[i]
 		p := amr.NewPatch(b, k.Ghost(), k.NumFields())
 		k.Init(p, cfg.BaseGrid)
 		patches[b] = p
 	}
-	plan := buildGhostPlan(assign, ep.Rank(), k.Ghost(), "", cfg.PerPairExchange, &sc)
+	plan := cfg.ghostPlanAt(assign, ep.Rank(), ep.Size(), k.Ghost(), "", &sc)
 	// spares double-buffer the per-box patches: each step writes into the
 	// box's spare and retires the current patch, so the steady-state loop
 	// allocates no patch storage.
@@ -248,12 +342,12 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			patches, err = redistribute(ep, assign, newAssign, patches, k, iter, res, "", cfg.PerPairExchange, &sc)
+			patches, err = redistribute(ep, assign, newAssign, patches, k, iter, res, "", cfg.PerPairExchange, cfg.CentralPlans, &sc)
 			if err != nil {
 				return nil, err
 			}
 			assign = newAssign
-			plan = buildGhostPlan(assign, ep.Rank(), k.Ghost(), "", cfg.PerPairExchange, &sc)
+			plan = cfg.ghostPlanAt(assign, ep.Rank(), ep.Size(), k.Ghost(), "", &sc)
 			clear(spares) // ownership changed; retired buffers are stale
 			res.Repartitions++
 		}
@@ -343,9 +437,12 @@ func stepPatch(k solver.Kernel, g solver.Grid, patches, spares map[geom.Box]*amr
 // partitionAt computes capacities and the assignment for an iteration; rank
 // 0 broadcasts the result so every rank uses identical ownership. prev, when
 // non-nil, enables the movement-aware owner relabeling against the standing
-// assignment; it must run on rank 0 before the broadcast because only rank 0
-// holds the partitioner's Ideal vector.
-func (c SPMDConfig) partitionAt(ep transport.Endpoint, iter int, prev *partition.Assignment, res *SPMDResult) (*partition.Assignment, error) {
+// assignment (it must run on rank 0 before the broadcast because only rank 0
+// holds the partitioner's Ideal vector) and the owner-delta wire form when
+// the repartition kept the tiling. Every rank — rank 0 included — rebuilds
+// its view from the decoded wire form, so all ranks hold bit-identical
+// state regardless of which form traveled.
+func (c SPMDConfig) partitionAt(ep transport.Endpoint, iter int, prev *asnView, res *SPMDResult) (*asnView, error) {
 	var wire wireAssignment
 	if ep.Rank() == 0 {
 		caps := c.CapsAt(iter)
@@ -354,9 +451,9 @@ func (c SPMDConfig) partitionAt(ep transport.Endpoint, iter int, prev *partition
 			return nil, err
 		}
 		if prev != nil && !c.NoAffinityRemap {
-			a = partition.RemapOwners(prev, a)
+			a = partition.RemapOwners(prev.Assignment, a)
 		}
-		wire = wireAssignment{Boxes: a.Boxes, Owners: a.Owners}
+		wire = encodeAssignment(prev, a)
 	}
 	payload, err := transport.EncodeGob(wire)
 	if err != nil {
@@ -369,8 +466,15 @@ func (c SPMDConfig) partitionAt(ep transport.Endpoint, iter int, prev *partition
 	if err != nil {
 		return nil, err
 	}
+	wire = wireAssignment{}
 	if err := transport.DecodeGob(got, &wire); err != nil {
 		return nil, err
+	}
+	if wire.Delta {
+		if prev == nil {
+			return nil, fmt.Errorf("engine: delta assignment broadcast without a standing assignment")
+		}
+		return applyDelta(prev, &wire, ep.Rank()), nil
 	}
 	a := &partition.Assignment{
 		Boxes:  wire.Boxes,
@@ -381,7 +485,25 @@ func (c SPMDConfig) partitionAt(ep transport.Endpoint, iter int, prev *partition
 	for i, b := range a.Boxes {
 		a.Work[a.Owners[i]] += partition.CellWork(b)
 	}
-	return a, nil
+	return newAsnView(a, ep.Rank()), nil
+}
+
+// encodeAssignment chooses the broadcast form: owner deltas relative to the
+// standing assignment when the repartition kept the box list (the steady
+// state — repartitions move ownership, not the tiling), the full table
+// otherwise.
+func encodeAssignment(prev *asnView, a *partition.Assignment) wireAssignment {
+	if prev == nil || !prev.Boxes.Equal(a.Boxes) {
+		return wireAssignment{Boxes: a.Boxes, Owners: a.Owners}
+	}
+	w := wireAssignment{Delta: true}
+	for i, o := range a.Owners {
+		if o != prev.Owners[i] {
+			w.Changed = append(w.Changed, int32(i))
+			w.NewOwners = append(w.NewOwners, int32(o))
+		}
+	}
+	return w
 }
 
 // extract serializes the values of region (all fields) from a patch.
@@ -440,10 +562,47 @@ type commScratch struct {
 	// redistribution.
 	query []int
 
+	// indexes caches uniform-grid spatial indexes across plan rebuilds, so a
+	// rank pays the O(total boxes) index construction only when the tiling
+	// actually changes, not on every repartition.
+	indexes indexCache
+
 	// om is the rank's observability handle set (nil when off). It lives on
 	// the scratch because the scratch already threads through every shared
 	// communication path of both the plain and the fault-tolerant runner.
 	om *spmdObs
+}
+
+// indexCache keeps the two most recent uniform-grid indexes keyed by
+// box-list content. Two slots cover the repartition access pattern — ghost
+// plan over the old tiling, migration plan over old and new, ghost plan over
+// the new — so the steady state never rebuilds an index it already holds.
+// A pointer fast path catches aliased lists (delta broadcasts keep the box
+// slice), falling back to content comparison for freshly decoded copies.
+type indexCache struct {
+	keys [2]geom.BoxList
+	idxs [2]*geom.Index
+}
+
+// get returns the cached index for boxes, building and caching one on miss.
+func (c *indexCache) get(boxes geom.BoxList) *geom.Index {
+	for s := 0; s < 2; s++ {
+		k := c.keys[s]
+		if c.idxs[s] == nil || len(k) != len(boxes) {
+			continue
+		}
+		if (len(k) > 0 && &k[0] == &boxes[0]) || k.Equal(boxes) {
+			if s == 1 {
+				c.keys[0], c.keys[1] = c.keys[1], c.keys[0]
+				c.idxs[0], c.idxs[1] = c.idxs[1], c.idxs[0]
+			}
+			return c.idxs[0]
+		}
+	}
+	idx := geom.NewIndex(boxes)
+	c.keys[1], c.idxs[1] = c.keys[0], c.idxs[0]
+	c.keys[0], c.idxs[0] = boxes, idx
+	return idx
 }
 
 // ghostSend is one outgoing remote halo region: src is the owned source
@@ -499,25 +658,27 @@ type ghostPlan struct {
 	sc        *commScratch
 }
 
-// buildGhostPlan derives rank me's exchange plan from an assignment. prefix
-// namespaces the tags: fault-tolerant runs pass an epoch prefix so messages
-// from a rolled-back execution cannot collide with the replay. The plan
-// visits only me's boxes and finds their neighbors through a uniform-grid
-// index, replacing the previous all-pairs O(boxes²) scan; growing by the
-// ghost width is symmetric (grown(a) meets b iff grown(b) meets a), so one
-// pass yields sends, receives, and local copies alike.
-func buildGhostPlan(a *partition.Assignment, me, ghost int, prefix string, perPair bool, sc *commScratch) *ghostPlan {
+// buildGhostPlan derives rank me's exchange plan — and only rank me's —
+// from the shared assignment. prefix namespaces the tags: fault-tolerant
+// runs pass an epoch prefix so messages from a rolled-back execution cannot
+// collide with the replay. The plan visits only me's boxes (the view's mine
+// list) and finds their neighbors through the cached uniform-grid index, so
+// per-rank plan cost scales with the rank's own boxes and their neighbor
+// count, not with the global box total; growing by the ghost width is
+// symmetric (grown(a) meets b iff grown(b) meets a), so one pass yields
+// sends, receives, and local copies alike. centralGhostPlans is the
+// retained global-pass twin; both must stay bit-identical per rank.
+func buildGhostPlan(v *asnView, me, ghost int, prefix string, perPair bool, sc *commScratch) *ghostPlan {
 	if sc == nil {
 		sc = &commScratch{}
 	}
+	a := v.Assignment
 	pl := &ghostPlan{perPair: perPair, sc: sc}
-	idx := geom.NewIndex(a.Boxes)
+	idx := sc.indexes.get(a.Boxes)
 	needsRemote := map[geom.Box]bool{}
 	hits := sc.query
-	for i, bi := range a.Boxes {
-		if a.Owners[i] != me {
-			continue
-		}
+	for _, i := range v.mine {
+		bi := a.Boxes[i]
 		grown := bi.Grow(ghost)
 		hits = idx.Query(grown, hits)
 		for _, j := range hits {
@@ -544,6 +705,24 @@ func buildGhostPlan(a *partition.Assignment, me, ghost int, prefix string, perPa
 		}
 	}
 	sc.query = hits
+	pl.finish(prefix)
+	for _, i := range v.mine {
+		b := a.Boxes[i]
+		if needsRemote[b] {
+			pl.boundary = append(pl.boundary, b)
+		} else {
+			pl.interior = append(pl.interior, b)
+		}
+	}
+	return pl
+}
+
+// finish canonicalizes a ghost plan: sends and receives sorted by (peer,
+// dst, src) — keys are unique within a plan, so the order is total — and
+// contiguous per-peer spans derived for the coalesced frames. Shared by the
+// distributed and centralized builders so both paths agree on wire order by
+// construction.
+func (pl *ghostPlan) finish(prefix string) {
 	sort.Slice(pl.sends, func(x, y int) bool {
 		sx, sy := &pl.sends[x], &pl.sends[y]
 		if sx.to != sy.to {
@@ -581,17 +760,20 @@ func buildGhostPlan(a *partition.Assignment, me, ghost int, prefix string, perPa
 		pl.recvPeers = append(pl.recvPeers, peerSpan{rank: pl.recvs[lo].from, lo: lo, hi: hi, tag: coalescedTag})
 		lo = hi
 	}
-	for i, b := range a.Boxes {
-		if a.Owners[i] != me {
-			continue
-		}
-		if needsRemote[b] {
-			pl.boundary = append(pl.boundary, b)
-		} else {
-			pl.interior = append(pl.interior, b)
-		}
+}
+
+// ghostPlanAt builds rank me's halo-exchange plan through the configured
+// path — the distributed per-rank builder by default, the centralized
+// global-pass oracle under CentralPlans — timed as a plan-build span.
+func (c SPMDConfig) ghostPlanAt(v *asnView, me, size, ghost int, prefix string, sc *commScratch) *ghostPlan {
+	sp := sc.om.span(obs.PhasePlan)
+	defer sp.End()
+	if c.CentralPlans {
+		pl := centralGhostPlans(v.Assignment, size, ghost, prefix, c.PerPairExchange)[me]
+		pl.sc = sc
+		return pl
 	}
-	return pl
+	return buildGhostPlan(v, me, ghost, prefix, c.PerPairExchange, sc)
 }
 
 // frameRegion builds the wire header for one packed region.
@@ -735,79 +917,135 @@ type migRegion struct {
 	peer           int
 }
 
-// redistribute moves patch interiors to their new owners after a
-// repartition. New-assignment boxes may be split differently than the old
-// ones, so transfers cover every overlapping (old, new) pair — found through
-// a uniform-grid index over the old boxes rather than the previous
-// O(old×new) scan. A box whose geometry and owner both survive keeps its
-// patch untouched (its halo is stale, but every halo cell is rewritten by
-// the next exchange before use, the same argument that lets stepPatch reuse
-// spares). In coalesced mode all regions bound for one peer travel as a
-// single framed message; the per-pair mode keeps one message per overlap.
-func redistribute(ep transport.Endpoint, old, next *partition.Assignment, patches map[geom.Box]*amr.Patch, k solver.Kernel, iter int, res *SPMDResult, prefix string, perPair bool, sc *commScratch) (map[geom.Box]*amr.Patch, error) {
-	if sc == nil {
-		sc = &commScratch{}
-	}
-	msp := sc.om.span(obs.PhaseMigrate)
-	mig0 := res.MigratedBytes
-	defer func() { msp.EndBytes(res.MigratedBytes - mig0) }()
-	me := ep.Rank()
-	out := make(map[geom.Box]*amr.Patch, len(patches))
-	bytesPerCell := int64(k.NumFields()) * 8
-	idx := geom.NewIndex(old.Boxes)
-	var sends, recvs []migRegion
+// migPlan is one rank's precomputed redistribution: the regions it ships
+// out, the regions it awaits, and the regions a repartition let it keep in
+// place. Sends and receives are sorted by (peer, dst, src) — unique keys —
+// so the distributed and centralized builders agree on wire order.
+type migPlan struct {
+	sends    []migRegion
+	recvs    []migRegion
+	retained []migRegion
+}
+
+// finish canonicalizes the plan order (see migPlan).
+func (mp *migPlan) finish() {
+	sortMig(mp.sends)
+	sortMig(mp.recvs)
+	sortMig(mp.retained)
+}
+
+// sortMig orders migration regions by (peer, dst, src).
+func sortMig(ms []migRegion) {
+	sort.Slice(ms, func(x, y int) bool {
+		a, b := &ms[x], &ms[y]
+		if a.peer != b.peer {
+			return a.peer < b.peer
+		}
+		if a.dstIdx != b.dstIdx {
+			return a.dstIdx < b.dstIdx
+		}
+		return a.srcIdx < b.srcIdx
+	})
+}
+
+// buildMigPlan derives rank me's migration plan — and only rank me's — for
+// an old→next repartition. Two passes over the view's own boxes: my new
+// boxes probed against the old tiling classify inbound regions (kept in
+// place when I already owned the data, received otherwise), and my old
+// boxes probed against the new tiling find outbound regions. Both probes go
+// through the cached indexes, so per-rank cost scales with the rank's own
+// boxes, not the global totals. centralMigPlans is the retained global-pass
+// twin; both must stay bit-identical per rank.
+func buildMigPlan(old, next *asnView, me int, sc *commScratch) migPlan {
+	var mp migPlan
+	oldIdx := sc.indexes.get(old.Boxes)
 	hits := sc.query
-	for i, nb := range next.Boxes {
-		no := next.Owners[i]
-		hits = idx.Query(nb, hits)
+	for _, i := range next.mine {
+		nb := next.Boxes[i]
+		hits = oldIdx.Query(nb, hits)
 		for _, j := range hits {
 			ob := old.Boxes[j]
-			oo := old.Owners[j]
-			region := nb.Intersect(ob)
-			switch {
-			case oo == no:
-				if no != me {
-					continue
-				}
-				res.RetainedBytes += region.Cells() * bytesPerCell
-				if nb.Equal(ob) {
-					out[nb] = patches[ob]
-					continue
-				}
-				p := out[nb]
-				if p == nil {
-					p = amr.NewPatch(nb, k.Ghost(), k.NumFields())
-					out[nb] = p
-				}
-				sc.floats = extractInto(sc.floats, patches[ob], region)
-				if err := apply(p, region, sc.floats); err != nil {
-					return nil, err
-				}
-			case oo == me: // I hold the data; its new owner is elsewhere.
-				sends = append(sends, migRegion{dstIdx: i, srcIdx: j, src: ob, region: region, peer: no})
-			case no == me: // Data migrates in.
-				if out[nb] == nil {
-					out[nb] = amr.NewPatch(nb, k.Ghost(), k.NumFields())
-				}
-				recvs = append(recvs, migRegion{dstIdx: i, srcIdx: j, dst: nb, region: region, peer: oo})
+			m := migRegion{dstIdx: i, srcIdx: j, dst: nb, src: ob, region: nb.Intersect(ob)}
+			if old.Owners[j] == me {
+				m.peer = me
+				mp.retained = append(mp.retained, m)
+			} else {
+				m.peer = old.Owners[j]
+				mp.recvs = append(mp.recvs, m)
 			}
 		}
 	}
-	sc.query = hits
-	sortMig := func(ms []migRegion) {
-		sort.Slice(ms, func(x, y int) bool {
-			a, b := &ms[x], &ms[y]
-			if a.peer != b.peer {
-				return a.peer < b.peer
+	nextIdx := sc.indexes.get(next.Boxes)
+	for _, j := range old.mine {
+		ob := old.Boxes[j]
+		hits = nextIdx.Query(ob, hits)
+		for _, i := range hits {
+			if next.Owners[i] == me {
+				continue // kept or stitched locally by the first pass
 			}
-			if a.dstIdx != b.dstIdx {
-				return a.dstIdx < b.dstIdx
-			}
-			return a.srcIdx < b.srcIdx
-		})
+			nb := next.Boxes[i]
+			mp.sends = append(mp.sends, migRegion{
+				dstIdx: i, srcIdx: j, dst: nb, src: ob,
+				region: nb.Intersect(ob), peer: next.Owners[i],
+			})
+		}
 	}
-	sortMig(sends)
-	sortMig(recvs)
+	sc.query = hits
+	mp.finish()
+	return mp
+}
+
+// redistribute moves patch interiors to their new owners after a
+// repartition. New-assignment boxes may be split differently than the old
+// ones, so transfers cover every overlapping (old, new) pair. A box whose
+// geometry and owner both survive keeps its patch untouched (its halo is
+// stale, but every halo cell is rewritten by the next exchange before use,
+// the same argument that lets stepPatch reuse spares). In coalesced mode
+// all regions bound for one peer travel as a single framed message; the
+// per-pair mode keeps one message per overlap. central selects the
+// global-pass oracle plan builder instead of the per-rank one.
+func redistribute(ep transport.Endpoint, old, next *asnView, patches map[geom.Box]*amr.Patch, k solver.Kernel, iter int, res *SPMDResult, prefix string, perPair, central bool, sc *commScratch) (map[geom.Box]*amr.Patch, error) {
+	if sc == nil {
+		sc = &commScratch{}
+	}
+	me := ep.Rank()
+	psp := sc.om.span(obs.PhasePlan)
+	var mp migPlan
+	if central {
+		mp = centralMigPlans(old.Assignment, next.Assignment, ep.Size())[me]
+	} else {
+		mp = buildMigPlan(old, next, me, sc)
+	}
+	psp.End()
+	msp := sc.om.span(obs.PhaseMigrate)
+	mig0 := res.MigratedBytes
+	defer func() { msp.EndBytes(res.MigratedBytes - mig0) }()
+	out := make(map[geom.Box]*amr.Patch, len(patches))
+	bytesPerCell := int64(k.NumFields()) * 8
+	for _, m := range mp.retained {
+		res.RetainedBytes += m.region.Cells() * bytesPerCell
+		if m.dst.Equal(m.src) {
+			// Geometry and owner both survived: old boxes are disjoint, so
+			// nothing else overlaps this box and the patch moves wholesale.
+			out[m.dst] = patches[m.src]
+			continue
+		}
+		p := out[m.dst]
+		if p == nil {
+			p = amr.NewPatch(m.dst, k.Ghost(), k.NumFields())
+			out[m.dst] = p
+		}
+		sc.floats = extractInto(sc.floats, patches[m.src], m.region)
+		if err := apply(p, m.region, sc.floats); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range mp.recvs {
+		if out[m.dst] == nil {
+			out[m.dst] = amr.NewPatch(m.dst, k.Ghost(), k.NumFields())
+		}
+	}
+	sends, recvs := mp.sends, mp.recvs
 	if perPair {
 		for _, m := range sends {
 			tag := fmt.Sprintf("%sr%d-%d-%d", prefix, iter, m.dstIdx, m.srcIdx)

@@ -54,13 +54,61 @@ func BenchmarkBuildGhostPlan(b *testing.B) {
 	for _, n := range []int{64, 256, 1024} {
 		b.Run(fmt.Sprintf("boxes=%d", n), func(b *testing.B) {
 			a := benchTileAssignment(n, 4, 0)
+			v := newAsnView(a, 0)
 			var sc commScratch
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				pl := buildGhostPlan(a, 0, 1, "", false, &sc)
+				pl := buildGhostPlan(v, 0, 1, "", false, &sc)
 				if len(pl.interior)+len(pl.boundary) == 0 {
 					b.Fatal("empty plan")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRepartitionPlan sweeps repartition plan construction across box
+// counts and virtual rank counts: /distributed builds one mid-cluster
+// rank's own ghost and migration plans (indexes warm — the steady state),
+// /central runs the retained coordinator-style build of every rank's plans,
+// which is what each rank paid per repartition before plan construction was
+// distributed. cmd/benchguard gates their ratio, so the distributed path
+// can never silently regress back to global scans.
+func BenchmarkRepartitionPlan(b *testing.B) {
+	for _, tc := range []struct{ boxes, ranks int }{
+		{256, 16}, {1024, 64}, {4096, 64}, {4096, 1024}, {4096, 4096},
+	} {
+		old := benchTileAssignment(tc.boxes, tc.ranks, 0)
+		next := benchTileAssignment(tc.boxes, tc.ranks, 0)
+		for i := 0; i < len(next.Owners); i += 8 {
+			next.Owners[i] = (next.Owners[i] + 1) % tc.ranks
+		}
+		// A mid-cluster rank whose boxes survive the shift (the every-8th
+		// rotation can strip a rank that owns a single box).
+		me := tc.ranks/2 + 1
+		b.Run(fmt.Sprintf("boxes=%d/ranks=%d/distributed", tc.boxes, tc.ranks), func(b *testing.B) {
+			ov, nv := newAsnView(old, me), newAsnView(next, me)
+			var sc commScratch
+			sc.indexes.get(old.Boxes)
+			sc.indexes.get(next.Boxes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mp := buildMigPlan(ov, nv, me, &sc)
+				pl := buildGhostPlan(nv, me, 1, "", false, &sc)
+				if len(mp.retained) == 0 || len(pl.interior)+len(pl.boundary) == 0 {
+					b.Fatal("empty plan")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("boxes=%d/ranks=%d/central", tc.boxes, tc.ranks), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cm := centralMigPlans(old, next, tc.ranks)
+				cg := centralGhostPlans(next, tc.ranks, 1, "", false)
+				if len(cm) != tc.ranks || len(cg) != tc.ranks {
+					b.Fatal("truncated central plans")
 				}
 			}
 		})
@@ -81,6 +129,11 @@ func BenchmarkRedistribute(b *testing.B) {
 			k := solver.NewAdvection2D(1.0, 0.5, 0.3, 0.3, 0.1)
 			a1 := benchTileAssignment(n, 2, n/2)
 			a2 := benchTileAssignment(n, 2, n/2+side)
+			views := [2][2]*asnView{}
+			for r := 0; r < 2; r++ {
+				views[0][r] = newAsnView(a1, r)
+				views[1][r] = newAsnView(a2, r)
+			}
 			eps, err := transport.NewGroup(2)
 			if err != nil {
 				b.Fatal(err)
@@ -99,9 +152,9 @@ func BenchmarkRedistribute(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				old, next := a1, a2
+				oi, ni := 0, 1
 				if i%2 == 1 {
-					old, next = a2, a1
+					oi, ni = 1, 0
 				}
 				var wg sync.WaitGroup
 				errs := [2]error{}
@@ -109,7 +162,7 @@ func BenchmarkRedistribute(b *testing.B) {
 					wg.Add(1)
 					go func(r int) {
 						defer wg.Done()
-						patches[r], errs[r] = redistribute(eps[r], old, next, patches[r], k, i, &res[r], "", false, &scs[r])
+						patches[r], errs[r] = redistribute(eps[r], views[oi][r], views[ni][r], patches[r], k, i, &res[r], "", false, false, &scs[r])
 					}(r)
 				}
 				wg.Wait()

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWeakScalingOracleAndDelta runs the sweep to 256 virtual ranks (the
+// full 4096-rank ladder runs nightly) and checks the deterministic
+// properties: every row's distributed plans match the centralized oracle
+// bit-for-bit, and the owner-delta broadcast beats the full table.
+func TestWeakScalingOracleAndDelta(t *testing.T) {
+	res, err := WeakScaling(256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (16, 64, 256)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.OracleOK {
+			t.Errorf("%d ranks: distributed plans diverged from the oracle", row.Ranks)
+		}
+		if row.DeltaKB >= row.FullKB {
+			t.Errorf("%d ranks: delta broadcast %.3f KB not below full %.3f KB",
+				row.Ranks, row.DeltaKB, row.FullKB)
+		}
+		if row.Boxes < weakBoxesPerRank*row.Ranks {
+			t.Errorf("%d ranks: only %d boxes, want >= %d", row.Ranks, row.Boxes,
+				weakBoxesPerRank*row.Ranks)
+		}
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != 4 {
+		t.Errorf("CSV has %d lines, want header + 3 rows", lines)
+	}
+	var tab strings.Builder
+	if err := res.Render(&tab); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "OK") {
+		t.Error("rendered table missing oracle status")
+	}
+}

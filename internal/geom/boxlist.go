@@ -18,6 +18,22 @@ func (l BoxList) TotalCells() int64 {
 	return n
 }
 
+// Equal reports whether the two lists hold identical boxes (levels
+// included) in identical order. The repartition paths use content equality
+// to reuse spatial indexes and broadcast owner deltas when a repartition
+// changed ownership but not the tiling.
+func (l BoxList) Equal(o BoxList) bool {
+	if len(l) != len(o) {
+		return false
+	}
+	for i := range l {
+		if !l[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns a copy of the list that shares no storage with l.
 func (l BoxList) Clone() BoxList {
 	out := make(BoxList, len(l))

@@ -27,6 +27,9 @@ const (
 	PhaseMigrate
 	// PhaseCheckpoint is the synchronous part of writing a checkpoint.
 	PhaseCheckpoint
+	// PhasePlan is communication-plan construction: each rank deriving its
+	// own ghost-exchange and migration plans from the shared assignment.
+	PhasePlan
 	// NumPhases bounds the taxonomy.
 	NumPhases
 )
@@ -34,6 +37,7 @@ const (
 // phaseNames indexes Phase.String.
 var phaseNames = [NumPhases]string{
 	"sense", "partition", "remap", "compute", "halo-wait", "migrate", "checkpoint",
+	"plan-build",
 }
 
 // String returns the phase's wire name (used as metric label and event

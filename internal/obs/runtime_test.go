@@ -82,7 +82,7 @@ func TestRuntimeSpans(t *testing.T) {
 }
 
 func TestPhaseNames(t *testing.T) {
-	want := []string{"sense", "partition", "remap", "compute", "halo-wait", "migrate", "checkpoint"}
+	want := []string{"sense", "partition", "remap", "compute", "halo-wait", "migrate", "checkpoint", "plan-build"}
 	ps := Phases()
 	if len(ps) != len(want) {
 		t.Fatalf("got %d phases, want %d", len(ps), len(want))

@@ -18,6 +18,11 @@ import (
 // among its members ACEHeterogeneous-style. On large clusters this bounds
 // the work of any single partitioning decision and maps naturally onto
 // multi-switch topologies.
+//
+// The two stages are exposed separately (PlanGroups, then
+// GroupPlan.PartitionGroup per group) so callers that scale past a single
+// coordinator can treat stage 1 as the short global decision and slice the
+// groups independently; Partition composes both stages for the common case.
 type Hierarchical struct {
 	Constraints Constraints
 	Curve       sfc.Curve
@@ -40,8 +45,33 @@ func NewHierarchical(refineRatio int) *Hierarchical {
 // Name implements Partitioner.
 func (h *Hierarchical) Name() string { return "Hierarchical" }
 
-// Partition implements Partitioner.
-func (h *Hierarchical) Partition(boxes geom.BoxList, caps []float64, work WorkFunc) (*Assignment, error) {
+// GroupPlan is the stage-1 product of the hierarchical scheme: node groups
+// with their aggregate capacities, and the SFC-ordered box list cut into one
+// contiguous curve segment per group in proportion to group capacity. The
+// global decision it represents is deliberately small — a sort plus a
+// quota walk — while the per-group slicing it feeds is independent per
+// group, so stage 2 can run anywhere (or in parallel) without coordination.
+type GroupPlan struct {
+	// Members[g] lists the global node ids of group g.
+	Members [][]int
+	// GroupCaps[g] is group g's aggregate relative capacity.
+	GroupCaps []float64
+
+	caps   []float64
+	work   WorkFunc
+	cons   Constraints
+	stage1 *Assignment // Owners[i] indexes Members, not nodes
+}
+
+// NumGroups returns the number of capacity groups.
+func (p *GroupPlan) NumGroups() int { return len(p.Members) }
+
+// GroupBoxes returns group g's contiguous curve segment.
+func (p *GroupPlan) GroupBoxes(g int) geom.BoxList { return p.stage1.NodeBoxes(g) }
+
+// PlanGroups runs stage 1: group the nodes, SFC-order the boxes, and cut the
+// curve into per-group segments proportional to aggregate group capacity.
+func (h *Hierarchical) PlanGroups(boxes geom.BoxList, caps []float64, work WorkFunc) (*GroupPlan, error) {
 	if err := checkInputs(boxes, caps); err != nil {
 		return nil, err
 	}
@@ -50,6 +80,91 @@ func (h *Hierarchical) Partition(boxes geom.BoxList, caps []float64, work WorkFu
 	}
 	if h.GroupSize < 1 {
 		return nil, fmt.Errorf("partition: group size %d < 1", h.GroupSize)
+	}
+	p := &GroupPlan{caps: caps, work: work, cons: h.Constraints}
+	for start := 0; start < len(caps); start += h.GroupSize {
+		end := start + h.GroupSize
+		if end > len(caps) {
+			end = len(caps)
+		}
+		members := make([]int, 0, end-start)
+		gcap := 0.0
+		for k := start; k < end; k++ {
+			members = append(members, k)
+			gcap += caps[k]
+		}
+		p.Members = append(p.Members, members)
+		p.GroupCaps = append(p.GroupCaps, gcap)
+	}
+	total := 0.0
+	for _, b := range boxes {
+		total += work(b)
+	}
+	if len(boxes) == 0 {
+		p.stage1 = &Assignment{Work: make([]float64, p.NumGroups()), Ideal: make([]float64, p.NumGroups())}
+		return p, nil
+	}
+	ordered := boxes.Clone()
+	domain, err := baseFootprint(ordered, h.RefineRatio)
+	if err != nil {
+		return nil, err
+	}
+	mapper := sfc.NewMapper(h.Curve, domain, h.RefineRatio)
+	mapper.Sort(ordered)
+	groupQuotas := make([]float64, p.NumGroups())
+	groupOrder := make([]int, p.NumGroups())
+	for g, gcap := range p.GroupCaps {
+		groupQuotas[g] = gcap * total
+		groupOrder[g] = g
+	}
+	p.stage1 = fillQuotas(ordered, groupOrder, groupQuotas, work, h.Constraints)
+	return p, nil
+}
+
+// PartitionGroup runs stage 2 for one group: distribute the group's curve
+// segment among its members in ascending-capacity order with member-level
+// quotas. The returned owners are global node ids. Each group's slicing
+// reads only stage-1 state, so calls are independent across groups.
+func (p *GroupPlan) PartitionGroup(g int) (geom.BoxList, []int) {
+	members := p.Members[g]
+	segment := p.GroupBoxes(g)
+	if len(segment) == 0 {
+		return nil, nil
+	}
+	segTotal := 0.0
+	for _, b := range segment {
+		segTotal += p.work(b)
+	}
+	memberCaps := make([]float64, len(members))
+	for i, k := range members {
+		if p.GroupCaps[g] > 0 {
+			memberCaps[i] = p.caps[k] / p.GroupCaps[g]
+		} else {
+			memberCaps[i] = 1 / float64(len(members))
+		}
+	}
+	quotas := capacity.Shares(memberCaps, segTotal)
+	segment.SortBy(func(b geom.Box) int64 { return int64(p.work(b)) })
+	order := make([]int, len(members))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return memberCaps[order[a]] < memberCaps[order[b]]
+	})
+	sub := fillQuotas(segment, order, quotas, p.work, p.cons)
+	owners := make([]int, len(sub.Owners))
+	for i, o := range sub.Owners {
+		owners[i] = members[o]
+	}
+	return sub.Boxes, owners
+}
+
+// Partition implements Partitioner by composing both stages.
+func (h *Hierarchical) Partition(boxes geom.BoxList, caps []float64, work WorkFunc) (*Assignment, error) {
+	p, err := h.PlanGroups(boxes, caps, work)
+	if err != nil {
+		return nil, err
 	}
 	total := 0.0
 	for _, b := range boxes {
@@ -62,74 +177,12 @@ func (h *Hierarchical) Partition(boxes geom.BoxList, caps []float64, work WorkFu
 	if len(boxes) == 0 {
 		return out, nil
 	}
-	// Group the nodes and aggregate their capacities.
-	type group struct {
-		members []int
-		cap     float64
-	}
-	var groups []group
-	for start := 0; start < len(caps); start += h.GroupSize {
-		end := start + h.GroupSize
-		if end > len(caps) {
-			end = len(caps)
-		}
-		g := group{}
-		for k := start; k < end; k++ {
-			g.members = append(g.members, k)
-			g.cap += caps[k]
-		}
-		groups = append(groups, g)
-	}
-	// Stage 1: SFC-order the composite list and cut it into per-group
-	// segments proportional to group capacity.
-	ordered := boxes.Clone()
-	domain, err := baseFootprint(ordered, h.RefineRatio)
-	if err != nil {
-		return nil, err
-	}
-	mapper := sfc.NewMapper(h.Curve, domain, h.RefineRatio)
-	mapper.Sort(ordered)
-	groupQuotas := make([]float64, len(groups))
-	groupOrder := make([]int, len(groups))
-	for i, g := range groups {
-		groupQuotas[i] = g.cap * total
-		groupOrder[i] = i
-	}
-	stage1 := fillQuotas(ordered, groupOrder, groupQuotas, work, h.Constraints)
-	// Stage 2: within each group, distribute its segment among members in
-	// ascending-capacity order with member-level quotas.
-	for gi, g := range groups {
-		segment := stage1.NodeBoxes(gi)
-		if len(segment) == 0 {
-			continue
-		}
-		segTotal := 0.0
-		for _, b := range segment {
-			segTotal += work(b)
-		}
-		memberCaps := make([]float64, len(g.members))
-		for i, k := range g.members {
-			if g.cap > 0 {
-				memberCaps[i] = caps[k] / g.cap
-			} else {
-				memberCaps[i] = 1 / float64(len(g.members))
-			}
-		}
-		quotas := capacity.Shares(memberCaps, segTotal)
-		segment.SortBy(func(b geom.Box) int64 { return int64(work(b)) })
-		order := make([]int, len(g.members))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			return memberCaps[order[a]] < memberCaps[order[b]]
-		})
-		sub := fillQuotas(segment, order, quotas, work, h.Constraints)
-		for i, b := range sub.Boxes {
-			node := g.members[sub.Owners[i]]
+	for g := 0; g < p.NumGroups(); g++ {
+		gb, owners := p.PartitionGroup(g)
+		for i, b := range gb {
 			out.Boxes = append(out.Boxes, b)
-			out.Owners = append(out.Owners, node)
-			out.Work[node] += work(b)
+			out.Owners = append(out.Owners, owners[i])
+			out.Work[owners[i]] += work(b)
 		}
 	}
 	return out, nil

@@ -83,6 +83,126 @@ func TestHierarchicalErrors(t *testing.T) {
 	}
 }
 
+// TestHierarchicalTwoStageComposition checks the exposed stages against the
+// composed Partition: slicing every group of a GroupPlan independently must
+// reproduce Partition's boxes and owners exactly (the property that lets
+// stage 2 run decentralized).
+func TestHierarchicalTwoStageComposition(t *testing.T) {
+	p := NewHierarchical(2)
+	p.GroupSize = 3
+	work := SubcycledWork(2)
+	caps := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.10, 0.15}
+	boxes := rmBoxList()
+	whole, err := p.Partition(boxes, caps, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.PlanGroups(boxes, caps, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumGroups() != 3 {
+		t.Fatalf("got %d groups, want 3", plan.NumGroups())
+	}
+	var gotBoxes geom.BoxList
+	var gotOwners []int
+	for g := 0; g < plan.NumGroups(); g++ {
+		gb, owners := plan.PartitionGroup(g)
+		gotBoxes = append(gotBoxes, gb...)
+		gotOwners = append(gotOwners, owners...)
+	}
+	if !gotBoxes.Equal(whole.Boxes) {
+		t.Fatal("stage-wise boxes differ from composed Partition")
+	}
+	for i, o := range gotOwners {
+		if o != whole.Owners[i] {
+			t.Fatalf("box %d owner %d, composed Partition gave %d", i, o, whole.Owners[i])
+		}
+	}
+}
+
+// TestHierarchicalGroupLargerThanCluster puts every node in one ragged
+// group (GroupSize far above the node count) — the degenerate shape small
+// clusters hit when group size is tuned for thousands of ranks.
+func TestHierarchicalGroupLargerThanCluster(t *testing.T) {
+	p := NewHierarchical(2)
+	p.GroupSize = 4096
+	caps := UniformCaps(5)
+	boxes := rmBoxList()
+	a, err := p.Partition(boxes, caps, SubcycledWork(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(boxes, SubcycledWork(2)); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.PlanGroups(boxes, caps, SubcycledWork(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumGroups() != 1 || len(plan.Members[0]) != 5 {
+		t.Fatalf("got %d groups / %v members, want one group of 5", plan.NumGroups(), plan.Members)
+	}
+}
+
+// TestHierarchicalDeadRanks drives the hierarchical scheme through
+// PartitionAlive: dead ranks must end up owning nothing while the survivors
+// cover all work.
+func TestHierarchicalDeadRanks(t *testing.T) {
+	p := NewHierarchical(2)
+	p.GroupSize = 2
+	caps := UniformCaps(6)
+	alive := []bool{true, false, true, true, false, true}
+	boxes := rmBoxList()
+	a, err := PartitionAlive(p, boxes, caps, alive, CellWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(boxes, CellWork); err != nil {
+		t.Fatal(err)
+	}
+	for k, alv := range alive {
+		owned := len(a.NodeBoxes(k))
+		if !alv && owned != 0 {
+			t.Errorf("dead rank %d owns %d boxes", k, owned)
+		}
+		if alv && owned == 0 {
+			t.Errorf("alive rank %d owns nothing", k)
+		}
+	}
+}
+
+// TestHierarchicalSingleBoxGroups hands the scheme exactly one box per
+// group: every group's segment degenerates to a single box that must land
+// on one member, with no box lost or split below constraints.
+func TestHierarchicalSingleBoxGroups(t *testing.T) {
+	p := NewHierarchical(2)
+	p.GroupSize = 2
+	p.Constraints = Constraints{MinBoxSize: 8} // tiles are 8 wide: unsplittable
+	var boxes geom.BoxList
+	for i := 0; i < 4; i++ {
+		boxes = append(boxes, geom.Box2(i*8, 0, i*8+7, 7))
+	}
+	a, err := p.Partition(boxes, UniformCaps(8), CellWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(boxes, CellWork); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Boxes) != 4 {
+		t.Fatalf("got %d boxes, want the 4 unsplittable tiles", len(a.Boxes))
+	}
+	// One box per group: the four owner groups must all be distinct.
+	groups := map[int]bool{}
+	for _, o := range a.Owners {
+		groups[o/2] = true
+	}
+	if len(groups) != 4 {
+		t.Errorf("owners %v span %d groups, want all 4", a.Owners, len(groups))
+	}
+}
+
 func TestHierarchicalGroupLocality(t *testing.T) {
 	// A strip of tiles over 8 nodes in 2 groups: each group must own a
 	// contiguous curve segment (at most 1 owner-group change along x).

@@ -55,7 +55,14 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		ckEvery   = flag.Int("checkpoint-every", 0, "write a periodic checkpoint every N iterations (0 = off)")
 		ckPath    = flag.String("checkpoint-path", "", "periodic checkpoint file (required with -checkpoint-every)")
-		faultStr  = flag.String("fault-spec", "", "inject a node crash, e.g. crash:node=2,iter=10")
+		faultStr  = flag.String("fault-spec", "",
+			"inject ';'-separated faults, e.g. crash:node=2,iter=10;rejoin:node=2,iter=18;slow:node=1,from=5,to=12,factor=4 (kinds: crash|rejoin|pause|slow; see DESIGN.md §13)")
+		rejoinOK = flag.Bool("rejoin", true,
+			"honor rejoin: events in -fault-spec; false strips them for a fail-stop baseline of the same churn script")
+		stragShed = flag.Bool("straggler-shed", false,
+			"detect persistently slow nodes (EWMA/MAD with hysteresis) and shed work off them before their sensors report trouble")
+		ckKeep = flag.Int("checkpoint-keep", 0,
+			"retain the N newest periodic checkpoints as iteration-stamped siblings for corruption fallback (0 = overwrite only)")
 		sensorStr = flag.String("sensor-fault-spec", "",
 			"inject sensor faults, e.g. sensor:seed=7,frac=0.25,drop=0.1,timeout=0.1,garbage=0.2,freeze=0.02")
 		hygiene = flag.Bool("hygiene", false,
@@ -72,14 +79,21 @@ func main() {
 	)
 	flag.Parse()
 
-	var fault *engine.FaultPlan
+	var faults engine.FaultSchedule
 	if *faultStr != "" {
 		var err error
-		fault, err = engine.ParseFaultSpec(*faultStr)
+		faults, err = engine.ParseFaultSpec(*faultStr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "amrun:", err)
 			os.Exit(2)
 		}
+		if !*rejoinOK {
+			faults = faults.WithoutRejoins()
+		}
+	}
+	var straggler monitor.StragglerPolicy
+	if *stragShed {
+		straggler = monitor.DefaultStragglerPolicy()
 	}
 	var sensorFaults *monitor.ProbeFaultSpec
 	if *sensorStr != "" {
@@ -235,7 +249,9 @@ func main() {
 		Workers:              *workers,
 		CheckpointEvery:      *ckEvery,
 		CheckpointPath:       *ckPath,
-		Fault:                fault,
+		CheckpointKeep:       *ckKeep,
+		Faults:               faults,
+		Straggler:            straggler,
 		SensorFaults:         sensorFaults,
 		Hygiene:              hygieneConfig(*hygiene),
 		RepartitionThreshold: *repartThresh,
@@ -248,17 +264,20 @@ func main() {
 	}
 	obsRT.SetState("engine", e.Snapshot)
 	if *loadCkpt != "" {
-		st, err := checkpoint.LoadFile(*loadCkpt)
+		st, loaded, err := checkpoint.LoadFileFallback(*loadCkpt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "amrun: load checkpoint:", err)
 			os.Exit(1)
+		}
+		if loaded != *loadCkpt {
+			fmt.Fprintf(os.Stderr, "amrun: %s unusable, fell back to %s\n", *loadCkpt, loaded)
 		}
 		if err := e.Restore(st); err != nil {
 			fmt.Fprintln(os.Stderr, "amrun: restore:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("restored checkpoint %s (iter %d, t=%.1fs, %d levels)\n",
-			*loadCkpt, st.Iter, st.VirtualTime, st.Hierarchy.NumLevels())
+			loaded, st.Iter, st.VirtualTime, st.Hierarchy.NumLevels())
 	}
 	tr, err := e.Run()
 	if err != nil {

@@ -44,6 +44,7 @@ type options struct {
 	ablations *bool
 	faultExp  *bool
 	faultStr  *string
+	elastic   *bool
 	sensorExp *bool
 	movement  *bool
 	sensorStr *string
@@ -76,6 +77,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 	o.ablations = fs.Bool("ablations", false, "design-choice ablations")
 	o.faultExp = fs.Bool("fault", false, "fault study: node crash on the virtual cluster + SPMD rank recovery")
 	o.faultStr = fs.String("fault-spec", "crash:rank=2,iter=10", "crash injected by -fault, e.g. crash:rank=2,iter=10")
+	o.elastic = fs.Bool("elastic", false, "elastic-membership study: fail-stop vs rejoin vs rejoin+shed under seeded churn, plus checkpoint-corruption survival")
 	o.sensorExp = fs.Bool("sensorfault", false, "degraded-sensing study: static vs naive vs hygienic adaptive under sensor faults")
 	o.movement = fs.Bool("movement", false, "migration-cost study: repartitioning with and without the owner-affinity remap")
 	o.sensorStr = fs.String("sensor-fault-spec", "",
@@ -99,8 +101,8 @@ func main() {
 	o := registerFlags(flag.CommandLine)
 	flag.Parse()
 	if !(*o.all || *o.fig7 || *o.fig8 || *o.fig11 || *o.table2 || *o.table3 ||
-		*o.ablations || *o.scaling || *o.faultExp || *o.sensorExp || *o.movement ||
-		*o.weakScaling) {
+		*o.ablations || *o.scaling || *o.faultExp || *o.elastic || *o.sensorExp ||
+		*o.movement || *o.weakScaling) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -196,7 +198,14 @@ func main() {
 		{*o.all || *o.ablations, "Ablation: granularity", func() (renderable, error) { return exp.AblationGranularity() }},
 		{*o.all || *o.ablations, "Ablation: locality vs balance", func() (renderable, error) { return exp.AblationLocality() }},
 		{*o.all || *o.ablations, "Ablation: weights under memory pressure", func() (renderable, error) { return exp.AblationMemoryWeights() }},
-		{*o.all || *o.faultExp, "Fault recovery", func() (renderable, error) { return exp.FaultRecovery(16, fault.Rank, fault.Iter) }},
+		{*o.all || *o.faultExp, "Fault recovery", func() (renderable, error) {
+			crashes := fault.Crashes()
+			if len(crashes) == 0 {
+				return nil, fmt.Errorf("-fault needs a crash event in -fault-spec")
+			}
+			return exp.FaultRecovery(16, crashes[0].Rank, crashes[0].Iter)
+		}},
+		{*o.all || *o.elastic, "Elastic membership", func() (renderable, error) { return exp.Elastic(16) }},
 		{*o.all || *o.sensorExp, "Degraded sensing", func() (renderable, error) { return exp.SensorFaults(40, sensorSpec, *o.repartThresh) }},
 		{*o.all || *o.movement, "Migration cost", func() (renderable, error) { return exp.Movement(16) }},
 		{*o.all || *o.weakScaling, "Weak scaling (plan construction)", func() (renderable, error) {

@@ -5,6 +5,7 @@
 package checkpoint
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -14,8 +15,10 @@ import (
 	"samrpart/internal/geom"
 )
 
-// magic guards against feeding arbitrary gob streams into Load.
-const magic = "samrpart-checkpoint-v1"
+// stateVersion is the envelope format version of full-run checkpoint files.
+// v2 added the CRC-32C integrity envelope (see integrity.go); v1 files —
+// bare gob streams — are rejected as corrupt.
+const stateVersion = 2
 
 // State is everything needed to resume a run.
 type State struct {
@@ -55,34 +58,36 @@ func (st *State) Validate() error {
 	return nil
 }
 
-// Save writes the state to w.
+// Save writes the state to w inside the versioned CRC-32C envelope, so Load
+// can prove the bytes intact before decoding them.
 func Save(w io.Writer, st *State) error {
 	if err := st.Validate(); err != nil {
 		return err
 	}
-	enc := gob.NewEncoder(w)
-	if err := enc.Encode(magic); err != nil {
-		return fmt.Errorf("checkpoint: write header: %w", err)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return fmt.Errorf("checkpoint: write state: %w", err)
 	}
-	if err := enc.Encode(st); err != nil {
+	if _, err := w.Write(sealEnvelope(stateVersion, buf.Bytes())); err != nil {
 		return fmt.Errorf("checkpoint: write state: %w", err)
 	}
 	return nil
 }
 
-// Load reads a state written by Save.
+// Load reads a state written by Save. A truncated, bit-flipped, or
+// version-skewed stream fails with an error wrapping ErrCorrupt.
 func Load(r io.Reader) (*State, error) {
-	dec := gob.NewDecoder(r)
-	var hdr string
-	if err := dec.Decode(&hdr); err != nil {
-		return nil, fmt.Errorf("checkpoint: read header: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read state: %w", err)
 	}
-	if hdr != magic {
-		return nil, fmt.Errorf("checkpoint: bad header %q", hdr)
+	payload, err := openEnvelope(data, stateVersion)
+	if err != nil {
+		return nil, err
 	}
 	st := &State{}
-	if err := dec.Decode(st); err != nil {
-		return nil, fmt.Errorf("checkpoint: read state: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(st); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if err := st.Validate(); err != nil {
 		return nil, err

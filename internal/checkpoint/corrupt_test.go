@@ -1,0 +1,175 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"samrpart/internal/amr"
+	"samrpart/internal/geom"
+)
+
+// writeTestShard saves one single-rank shard for iter and returns its path.
+func writeTestShard(t *testing.T, dir string, iter int) string {
+	t.Helper()
+	b := geom.Box2(0, 0, 3, 3)
+	sh := &SPMDShard{Iter: iter, Rank: 0, Size: 1,
+		Patches: map[geom.Box]*amr.Patch{b: testPatch(b, float64(iter))}}
+	if err := SaveShard(dir, sh); err != nil {
+		t.Fatal(err)
+	}
+	return ShardPath(dir, iter, 0)
+}
+
+func TestShardRejectsBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestShard(t, dir, 4)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in every byte position in turn; the loader must reject
+	// each damaged file with ErrCorrupt and never panic. (The file is small,
+	// so exhaustive positions stay cheap and cover header and payload both.)
+	for pos := 0; pos < len(data); pos++ {
+		bad := append([]byte(nil), data...)
+		bad[pos] ^= 0x10
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadShard(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at byte %d: err = %v, want ErrCorrupt", pos, err)
+		}
+	}
+	// The pristine bytes still load.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShard(path); err != nil {
+		t.Fatalf("pristine shard rejected: %v", err)
+	}
+}
+
+func TestShardRejectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestShard(t, dir, 4)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, envHeader - 1, envHeader, len(data) / 2, len(data) - 1} {
+		if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadShard(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestShardRejectsLegacyV1(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestShard(t, dir, 4)
+	// A v1 file was a bare gob stream with a string magic — no envelope.
+	if err := os.WriteFile(path, []byte("samrpart-spmd-shard-v1 ..."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShard(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("legacy v1 shard: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadShardsPropagatesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	writeTestShard(t, dir, 4)
+	path := writeTestShard(t, dir, 8)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShards(dir, 8); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("LoadShards over corrupt epoch: err = %v, want ErrCorrupt", err)
+	}
+	// The previous epoch is intact and is where recovery falls back to.
+	if got := PrevShardIter(dir, 8); got != 4 {
+		t.Fatalf("PrevShardIter(8) = %d, want 4", got)
+	}
+	if _, err := LoadShards(dir, 4); err != nil {
+		t.Fatalf("fallback epoch rejected: %v", err)
+	}
+}
+
+func TestPrevShardIter(t *testing.T) {
+	dir := t.TempDir()
+	if got := PrevShardIter(dir, 10); got != -1 {
+		t.Errorf("empty dir prev = %d", got)
+	}
+	for _, iter := range []int{0, 4, 8} {
+		writeTestShard(t, dir, iter)
+	}
+	for _, tc := range [][2]int{{10, 8}, {8, 4}, {4, 0}, {0, -1}} {
+		if got := PrevShardIter(dir, tc[0]); got != tc[1] {
+			t.Errorf("PrevShardIter(%d) = %d, want %d", tc[0], got, tc[1])
+		}
+	}
+}
+
+func TestPruneShardsRetention(t *testing.T) {
+	dir := t.TempDir()
+	for _, iter := range []int{0, 2, 4, 6, 8} {
+		writeTestShard(t, dir, iter)
+	}
+	// Another rank's shards must survive rank 0's pruning untouched.
+	b := geom.Box2(4, 0, 7, 3)
+	if err := SaveShard(dir, &SPMDShard{Iter: 0, Rank: 1, Size: 2,
+		Patches: map[geom.Box]*amr.Patch{b: testPatch(b, 9)}}); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := PruneShards(dir, 0, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Errorf("removed %d files, want 3", removed)
+	}
+	if got := shardIters(dir); len(got) != 3 || got[0] != 0 || got[1] != 6 || got[2] != 8 {
+		t.Errorf("surviving iterations = %v, want [0 6 8]", got)
+	}
+	if _, err := os.Stat(ShardPath(dir, 0, 1)); err != nil {
+		t.Errorf("rank 1 shard removed by rank 0 pruning: %v", err)
+	}
+	// Epochs above `through` (still being written by slow ranks) survive.
+	writeTestShard(t, dir, 10)
+	if removed, _ := PruneShards(dir, 0, 8, 2); removed != 0 {
+		t.Errorf("pruning through 8 removed %d newer files", removed)
+	}
+	// keep <= 0 disables retention entirely.
+	if removed, _ := PruneShards(dir, 0, 10, 0); removed != 0 {
+		t.Errorf("keep=0 removed %d files", removed)
+	}
+}
+
+func TestStateRejectsCorruption(t *testing.T) {
+	st := buildState(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Load(bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine state rejected: %v", err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[envHeader+3] ^= 0x01
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped state: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := Load(bytes.NewReader(data[:len(data)-2])); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated state: err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,65 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ErrCorrupt is the sentinel every integrity failure wraps: a checkpoint
+// file that is truncated, bit-flipped, version-skewed, or otherwise not the
+// bytes a healthy writer produced. Callers match it with errors.Is and fall
+// back to the previous intact epoch instead of aborting the run.
+var ErrCorrupt = errors.New("checkpoint: corrupt")
+
+// Envelope wire format, shared by SPMD shards and full-run state files:
+//
+//	[8]  magic "SAMRCKPT"
+//	[4]  format version (little-endian)
+//	[8]  payload length  (little-endian)
+//	[4]  CRC-32C (Castagnoli) of the payload
+//	[..] payload (gob stream)
+//
+// The declared length must match the actual remainder exactly, so a
+// truncated file is detected before the checksum is even computed, and a
+// reader never allocates or hashes more than the file really holds.
+const (
+	envMagic  = "SAMRCKPT"
+	envHeader = 8 + 4 + 8 + 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// sealEnvelope wraps payload in the versioned, checksummed envelope.
+func sealEnvelope(version uint32, payload []byte) []byte {
+	out := make([]byte, envHeader+len(payload))
+	copy(out, envMagic)
+	binary.LittleEndian.PutUint32(out[8:], version)
+	binary.LittleEndian.PutUint64(out[12:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[20:], crc32.Checksum(payload, castagnoli))
+	copy(out[envHeader:], payload)
+	return out
+}
+
+// openEnvelope validates the envelope and returns the payload. Every
+// failure wraps ErrCorrupt.
+func openEnvelope(data []byte, wantVersion uint32) ([]byte, error) {
+	if len(data) < envHeader {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrCorrupt, len(data), envHeader)
+	}
+	if string(data[:8]) != envMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != wantVersion {
+		return nil, fmt.Errorf("%w: format version %d, want %d", ErrCorrupt, v, wantVersion)
+	}
+	payload := data[envHeader:]
+	if n := binary.LittleEndian.Uint64(data[12:]); n != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: declares %d payload bytes, carries %d", ErrCorrupt, n, len(payload))
+	}
+	if want, got := binary.LittleEndian.Uint32(data[20:]), crc32.Checksum(payload, castagnoli); want != got {
+		return nil, fmt.Errorf("%w: CRC-32C mismatch (header %08x, payload %08x)", ErrCorrupt, want, got)
+	}
+	return payload, nil
+}

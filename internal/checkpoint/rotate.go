@@ -1,0 +1,95 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rotation keeps the N newest periodic checkpoints alongside the primary
+// file as iteration-stamped siblings ("ckpt" → "ckpt.i000040"). The primary
+// is still overwritten atomically every period, so the happy path is
+// unchanged; the stamped history exists purely so a corrupted primary is a
+// rollback, not a dead run.
+
+// RotatedPath returns the stamped sibling name for a retained checkpoint.
+func RotatedPath(path string, iter int) string {
+	return fmt.Sprintf("%s.i%06d", path, iter)
+}
+
+// rotatedIters lists the iterations with stamped siblings of path, ascending.
+func rotatedIters(path string) ([]int, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := base + ".i"
+	var iters []int
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(e.Name(), prefix))
+		if err != nil || n < 0 {
+			continue
+		}
+		iters = append(iters, n)
+	}
+	sort.Ints(iters)
+	return iters, nil
+}
+
+// PruneRotated deletes stamped siblings of path beyond the keep newest and
+// returns how many were removed. keep <= 0 disables pruning.
+func PruneRotated(path string, keep int) (int, error) {
+	if keep <= 0 {
+		return 0, nil
+	}
+	iters, err := rotatedIters(path)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, it := range iters[:max(0, len(iters)-keep)] {
+		if err := os.Remove(RotatedPath(path, it)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// LoadFileFallback loads the newest intact checkpoint reachable from path:
+// the primary file first, then stamped siblings newest-first. A corrupt or
+// missing candidate is skipped; the returned string is the file actually
+// loaded. Every candidate failing returns the primary's error wrapped, so
+// callers still see ErrCorrupt.
+func LoadFileFallback(path string) (*State, string, error) {
+	st, primaryErr := LoadFile(path)
+	if primaryErr == nil {
+		return st, path, nil
+	}
+	if !errors.Is(primaryErr, ErrCorrupt) && !errors.Is(primaryErr, fs.ErrNotExist) {
+		return nil, "", primaryErr
+	}
+	iters, err := rotatedIters(path)
+	if err != nil {
+		return nil, "", primaryErr
+	}
+	for i := len(iters) - 1; i >= 0; i-- {
+		p := RotatedPath(path, iters[i])
+		if st, err := LoadFile(p); err == nil {
+			return st, p, nil
+		}
+	}
+	return nil, "", fmt.Errorf("checkpoint: no intact fallback for %s: %w", path, primaryErr)
+}

@@ -1,17 +1,21 @@
 package checkpoint
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"samrpart/internal/amr"
 	"samrpart/internal/geom"
 )
 
-// shardMagic guards SPMD shard files the way magic guards full checkpoints.
-const shardMagic = "samrpart-spmd-shard-v1"
+// shardVersion is the envelope format version of SPMD shard files. v2 added
+// the CRC-32C integrity envelope (see integrity.go); v1 files — bare gob
+// streams — are rejected as corrupt.
+const shardVersion = 2
 
 // SPMDShard is one rank's contribution to a distributed checkpoint: the
 // patches that rank owned at the checkpoint iteration. Every rank writes its
@@ -37,7 +41,8 @@ func ShardPath(dir string, iter, rank int) string {
 }
 
 // SaveShard atomically writes one rank's shard into dir, creating the
-// directory if needed.
+// directory if needed. The file carries the versioned CRC-32C envelope so a
+// later reader can prove it intact before trusting a single byte of it.
 func SaveShard(dir string, sh *SPMDShard) error {
 	if sh.Iter < 0 || sh.Rank < 0 || sh.Rank >= sh.Size {
 		return fmt.Errorf("checkpoint: invalid shard iter=%d rank=%d size=%d", sh.Iter, sh.Rank, sh.Size)
@@ -45,47 +50,30 @@ func SaveShard(dir string, sh *SPMDShard) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	path := ShardPath(dir, sh.Iter, sh.Rank)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	enc := gob.NewEncoder(f)
-	err = enc.Encode(shardMagic)
-	if err == nil {
-		err = enc.Encode(sh)
-	}
-	if err != nil {
-		f.Close()
-		os.Remove(tmp)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sh); err != nil {
 		return fmt.Errorf("checkpoint: write shard: %w", err)
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return WriteFileAtomic(ShardPath(dir, sh.Iter, sh.Rank), sealEnvelope(shardVersion, buf.Bytes()))
 }
 
-// LoadShard reads a single shard file.
+// LoadShard reads and verifies a single shard file. A truncated,
+// bit-flipped, or version-skewed file fails with an error wrapping
+// ErrCorrupt; recovery treats that epoch as lost and falls back.
 func LoadShard(path string) (*SPMDShard, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	dec := gob.NewDecoder(f)
-	var hdr string
-	if err := dec.Decode(&hdr); err != nil {
-		return nil, fmt.Errorf("checkpoint: read shard header: %w", err)
-	}
-	if hdr != shardMagic {
-		return nil, fmt.Errorf("checkpoint: bad shard header %q", hdr)
+	payload, err := openEnvelope(data, shardVersion)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: shard %s: %w", filepath.Base(path), err)
 	}
 	sh := &SPMDShard{}
-	if err := dec.Decode(sh); err != nil {
-		return nil, fmt.Errorf("checkpoint: read shard: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(sh); err != nil {
+		// The checksum passed but the gob stream is still unreadable: a
+		// writer bug or schema skew. Corrupt either way for the caller.
+		return nil, fmt.Errorf("checkpoint: shard %s: %w: %v", filepath.Base(path), ErrCorrupt, err)
 	}
 	return sh, nil
 }
@@ -127,19 +115,86 @@ func LoadShards(dir string, iter int) (map[geom.Box]*amr.Patch, error) {
 // exist). Callers coordinating a restore should agree on the iteration via
 // the transport rather than trusting one rank's view of the filesystem.
 func LatestShardIter(dir string) int {
-	paths, err := filepath.Glob(filepath.Join(dir, "spmd-i*-r*.ckpt"))
-	if err != nil || len(paths) == 0 {
+	iters := shardIters(dir)
+	if len(iters) == 0 {
 		return -1
 	}
-	best := -1
+	return iters[len(iters)-1]
+}
+
+// PrevShardIter returns the highest checkpointed iteration strictly below
+// `before` (-1 when none exists). Recovery walks this chain when the newest
+// epoch turns out to be corrupt: every rank scans the same shared directory
+// deterministically, so survivors agree on the fallback epoch without an
+// extra coordination round.
+func PrevShardIter(dir string, before int) int {
+	iters := shardIters(dir)
+	for i := len(iters) - 1; i >= 0; i-- {
+		if iters[i] < before {
+			return iters[i]
+		}
+	}
+	return -1
+}
+
+// shardIters returns the sorted distinct iterations with at least one shard
+// file in dir.
+func shardIters(dir string) []int {
+	paths, err := filepath.Glob(filepath.Join(dir, "spmd-i*-r*.ckpt"))
+	if err != nil || len(paths) == 0 {
+		return nil
+	}
+	seen := make(map[int]bool)
 	for _, p := range paths {
 		var iter, rank int
 		if _, err := fmt.Sscanf(filepath.Base(p), "spmd-i%06d-r%03d.ckpt", &iter, &rank); err != nil {
 			continue
 		}
-		if iter > best {
-			best = iter
-		}
+		seen[iter] = true
 	}
-	return best
+	iters := make([]int, 0, len(seen))
+	for it := range seen {
+		iters = append(iters, it)
+	}
+	sort.Ints(iters)
+	return iters
+}
+
+// PruneShards enforces N-epoch retention for one rank: it deletes that
+// rank's shard files for all but the `keep` newest iterations at or below
+// `through`. Each rank prunes only its own files, so concurrent writers in a
+// shared directory never race on the same path, and an epoch a slow rank
+// has not finished writing (> through) is never touched. Returns the number
+// of files removed.
+func PruneShards(dir string, rank, through, keep int) (int, error) {
+	if keep <= 0 {
+		return 0, nil
+	}
+	pattern := filepath.Join(dir, fmt.Sprintf("spmd-i*-r%03d.ckpt", rank))
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return 0, err
+	}
+	var iters []int
+	byIter := make(map[int]string)
+	for _, p := range paths {
+		var iter, r int
+		if _, err := fmt.Sscanf(filepath.Base(p), "spmd-i%06d-r%03d.ckpt", &iter, &r); err != nil || r != rank {
+			continue
+		}
+		if iter > through {
+			continue
+		}
+		iters = append(iters, iter)
+		byIter[iter] = p
+	}
+	sort.Ints(iters)
+	removed := 0
+	for i := 0; i < len(iters)-keep; i++ {
+		if err := os.Remove(byIter[iters[i]]); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
 }

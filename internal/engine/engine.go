@@ -55,6 +55,11 @@ type Config struct {
 	// CheckpointPath is the checkpoint file (overwritten atomically on each
 	// periodic checkpoint). Required when CheckpointEvery > 0.
 	CheckpointPath string
+	// CheckpointKeep, when > 0, additionally retains the N newest periodic
+	// checkpoints as iteration-stamped siblings of CheckpointPath
+	// (checkpoint.RotatedPath), so a corrupted primary file can fall back to
+	// an earlier intact epoch via checkpoint.LoadFileFallback.
+	CheckpointKeep int
 	// Fault, when set, crashes the given virtual node at the start of the
 	// given iteration: the node is saturated with an unbounded external
 	// load. When sensing is enabled (SenseEvery > 0) the engine re-senses
@@ -63,6 +68,19 @@ type Config struct {
 	// recovery); a static configuration never notices and keeps the dead
 	// node's share assigned to it.
 	Fault *FaultPlan
+	// Faults schedules multi-event fault injection: crash, rejoin (the
+	// crash load is lifted and — with sensing on — the node's capacity
+	// flows back at the next repartition), pause and slow windows (gray
+	// failures: the node saturates or dilates for [Iter, Until)). It
+	// composes with Fault, which remains the single-crash shorthand.
+	Faults FaultSchedule
+	// Straggler enables the gray-failure detector on the control loop: the
+	// per-node compute times already charged by the cost model feed an
+	// EWMA/MAD slow-node detector, and sensed capacities are demoted by its
+	// shed/quarantine factors before partitioning, so work flows off a
+	// degrading node before its sensor ever reports trouble. The zero value
+	// disables it, preserving bit-identical behaviour.
+	Straggler monitor.StragglerPolicy
 	// SensorFaults, when set, wraps the monitor's prober with deterministic
 	// sensor-fault injection (timeouts, dropouts, frozen readings, garbage
 	// values) — the sensing-layer analogue of the transport fault spec.
@@ -112,6 +130,9 @@ func (c Config) validate() error {
 	if c.CheckpointEvery > 0 && c.CheckpointPath == "" {
 		return fmt.Errorf("engine: CheckpointEvery set without CheckpointPath")
 	}
+	if c.CheckpointKeep < 0 {
+		return fmt.Errorf("engine: negative checkpoint retention")
+	}
 	if c.Fault != nil && (c.Fault.Rank < 0 || c.Fault.Iter < 0) {
 		return fmt.Errorf("engine: fault plan needs non-negative node and iteration")
 	}
@@ -139,6 +160,14 @@ type Engine struct {
 	assign      *partition.Assignment
 	tr          *trace.RunTrace
 	busySeconds []float64
+
+	// Fault-schedule state: the normalized schedule, the open crash load
+	// per node (closed again by a rejoin event), and the open gray-failure
+	// windows per schedule index.
+	sched     FaultSchedule
+	crashGens map[int]*faultWindow
+	grayGens  map[int]*faultWindow
+	strag     *monitor.StragglerDetector
 
 	ob    engineObs
 	pubMu sync.Mutex
@@ -186,14 +215,53 @@ func New(cfg Config, clus *cluster.Cluster) (*Engine, error) {
 		return nil, fmt.Errorf("engine: fault plan targets node %d of %d",
 			cfg.Fault.Rank, clus.NumNodes())
 	}
+	// Normalize the legacy single-crash shorthand into the schedule and
+	// validate the composed script against the cluster size.
+	sched := append(FaultSchedule(nil), cfg.Faults...)
+	if cfg.Fault != nil {
+		sched = append(sched, FaultEvent{Kind: FaultCrash, Rank: cfg.Fault.Rank, Iter: cfg.Fault.Iter})
+	}
+	if err := sched.Validate(clus.NumNodes()); err != nil {
+		return nil, err
+	}
 	mon.SetObs(cfg.Obs.Registry())
 	return &Engine{
-		cfg:  cfg,
-		clus: clus,
-		mon:  mon,
-		hier: h,
-		ob:   newEngineObs(cfg.Obs, clus.NumNodes()),
+		cfg:       cfg,
+		clus:      clus,
+		mon:       mon,
+		hier:      h,
+		sched:     sched,
+		crashGens: make(map[int]*faultWindow),
+		grayGens:  make(map[int]*faultWindow),
+		strag:     monitor.NewStragglerDetector(clus.NumNodes(), cfg.Straggler),
+		ob:        newEngineObs(cfg.Obs, clus.NumNodes()),
 	}, nil
+}
+
+// faultWindow is a load generator whose stop time is set after installation
+// — cluster.Step fixes its window at construction, but a rejoin or window
+// close only learns its virtual timestamp when the event fires.
+type faultWindow struct {
+	start float64
+	stop  float64 // 0 = still open
+	cpu   float64
+	memMB float64
+}
+
+// CPULoad implements cluster.LoadGenerator.
+func (w *faultWindow) CPULoad(t float64) float64 {
+	if t < w.start || (w.stop > 0 && t >= w.stop) {
+		return 0
+	}
+	return w.cpu
+}
+
+// MemoryMB implements cluster.LoadGenerator.
+func (w *faultWindow) MemoryMB(t float64) float64 {
+	if t < w.start || (w.stop > 0 && t >= w.stop) {
+		return 0
+	}
+	return w.memMB
 }
 
 // Hierarchy exposes the current grid hierarchy.
@@ -220,6 +288,25 @@ func (e *Engine) sense(iter int) error {
 	defer sp.End()
 	ms := e.mon.Sense(e.clus.Now())
 	caps, err := capacity.RelativeMasked(ms, e.cfg.Weights, e.mon.Alive())
+	if err == nil && e.cfg.Straggler.Enabled {
+		// Demote shed/quarantined nodes before the capacities are adopted,
+		// then renormalize to the unit sum the partitioners require. A
+		// quarantined node keeps a tiny floor so quotas stay finite even if
+		// every node were quarantined at once.
+		sum := 0.0
+		for k := range caps {
+			if f := e.strag.CapacityFactor(k); f < 1 {
+				caps[k] *= f
+				if caps[k] < 1e-3 {
+					caps[k] = 1e-3
+				}
+			}
+			sum += caps[k]
+		}
+		for k := range caps {
+			caps[k] /= sum
+		}
+	}
 	switch {
 	case err == nil:
 		e.caps = caps
@@ -536,28 +623,8 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 	defer ckptWG.Wait()
 	for iter := 0; iter < e.cfg.Iterations; iter++ {
 		e.ob.iter.Set(float64(iter))
-		if e.cfg.Fault != nil && iter == e.cfg.Fault.Iter {
-			// Crash the node: saturate its CPU and memory with external
-			// load from now on (bandwidth is static in the cluster model,
-			// so some residual capacity remains), then react immediately —
-			// re-sense so the capacity metric sees the dead node, and
-			// repartition so its work migrates to the survivors.
-			node := e.clus.Node(e.cfg.Fault.Rank)
-			node.AddLoad(cluster.Step{
-				Start: e.clus.Now(),
-				CPU:   faultCrashLoad,
-				MemMB: node.Spec.MemoryMB,
-			})
-			// Adaptive configurations react right away; static ones keep
-			// running blind (the paper's static-vs-adaptive contrast).
-			if e.cfg.SenseEvery > 0 {
-				if err := e.sense(iter); err != nil {
-					return nil, err
-				}
-				if err := e.repartition(iter, true); err != nil {
-					return nil, err
-				}
-			}
+		if err := e.applyFaults(iter); err != nil {
+			return nil, err
 		}
 		if e.cfg.SenseEvery > 0 && iter > 0 && iter%e.cfg.SenseEvery == 0 {
 			if err := e.sense(iter); err != nil {
@@ -591,14 +658,27 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 			csp.EndBytes(int64(buf.Len()))
 			ckptWG.Wait()
 			ckptWG.Add(1)
-			go func(data []byte) {
+			go func(data []byte, iter int) {
 				defer ckptWG.Done()
-				if err := checkpoint.WriteFileAtomic(e.cfg.CheckpointPath, data); err != nil {
+				fail := func(err error) {
 					ckptMu.Lock()
 					ckptErr = err
 					ckptMu.Unlock()
 				}
-			}(buf.Bytes())
+				if err := checkpoint.WriteFileAtomic(e.cfg.CheckpointPath, data); err != nil {
+					fail(err)
+					return
+				}
+				if e.cfg.CheckpointKeep > 0 {
+					if err := checkpoint.WriteFileAtomic(checkpoint.RotatedPath(e.cfg.CheckpointPath, iter), data); err != nil {
+						fail(err)
+						return
+					}
+					if _, err := checkpoint.PruneRotated(e.cfg.CheckpointPath, e.cfg.CheckpointKeep); err != nil {
+						fail(err)
+					}
+				}
+			}(buf.Bytes(), iter)
 		}
 		sp := e.ob.rt.Span(obs.PhaseCompute, -1, iter)
 		if err := e.cfg.App.Advance(e.hier, iter); err != nil {
@@ -606,6 +686,7 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 		}
 		sp.End()
 		compute, comm, perNode := e.stepCost()
+		e.feedStraggler(perNode)
 		e.clus.Advance(compute + comm)
 		e.tr.ComputeTime += compute
 		e.tr.CommTime += comm
@@ -632,6 +713,108 @@ func (e *Engine) Run() (*trace.RunTrace, error) {
 	e.tr.ExecTime = e.clus.Now() - start
 	e.snapshotSensorHealth()
 	return e.tr, nil
+}
+
+// applyFaults fires every scheduled fault event whose boundary is iter:
+// crashes saturate the node, rejoins lift the crash load again, and pause/
+// slow windows open and close their gray-failure load. Membership events
+// react immediately when sensing is on — re-sense so the capacity metric
+// sees the change, repartition so work migrates — while gray failures are
+// left for the periodic control loop (or the straggler detector) to catch:
+// that latency gap is exactly what the detector exists to close.
+func (e *Engine) applyFaults(iter int) error {
+	react := false
+	for evi := range e.sched {
+		ev := &e.sched[evi]
+		switch ev.Kind {
+		case FaultCrash:
+			if iter != ev.Iter {
+				continue
+			}
+			// Saturate CPU and memory with external load from now on
+			// (bandwidth is static in the cluster model, so some residual
+			// capacity remains).
+			node := e.clus.Node(ev.Rank)
+			w := &faultWindow{start: e.clus.Now(), cpu: faultCrashLoad, memMB: node.Spec.MemoryMB}
+			node.AddLoad(w)
+			e.crashGens[ev.Rank] = w
+			e.tr.Crashes++
+			e.ob.crashes.Inc()
+			react = true
+		case FaultRejoin:
+			if iter != ev.Iter {
+				continue
+			}
+			if w := e.crashGens[ev.Rank]; w != nil {
+				w.stop = e.clus.Now()
+				delete(e.crashGens, ev.Rank)
+			}
+			e.tr.Rejoins++
+			e.ob.rejoins.Inc()
+			react = true
+		case FaultPause, FaultSlow:
+			if iter == ev.Iter {
+				cpu := faultCrashLoad // paused: unresponsive for the window
+				if ev.Kind == FaultSlow {
+					cpu = 1 - 1/ev.Factor // dilate compute by Factor
+				}
+				w := &faultWindow{start: e.clus.Now(), cpu: cpu}
+				e.clus.Node(ev.Rank).AddLoad(w)
+				e.grayGens[evi] = w
+			}
+			if iter == ev.Until {
+				if w := e.grayGens[evi]; w != nil {
+					w.stop = e.clus.Now()
+					delete(e.grayGens, evi)
+				}
+			}
+		}
+	}
+	// Adaptive configurations react right away; static ones keep running
+	// blind (the paper's static-vs-adaptive contrast).
+	if react && e.cfg.SenseEvery > 0 {
+		if err := e.sense(iter); err != nil {
+			return err
+		}
+		if err := e.repartition(iter, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// feedStraggler hands one iteration's per-node compute times to the
+// detector, normalized to seconds per work unit so heterogeneous work
+// assignments do not read as slowness. Transitions are counted into the
+// trace and metrics; capacity demotion happens at the next sense.
+func (e *Engine) feedStraggler(perNode []float64) {
+	if e.assign == nil {
+		return
+	}
+	perUnit := make([]float64, len(perNode))
+	alive := make([]bool, len(perNode))
+	fpc := e.cfg.App.FlopsPerCell()
+	for k := range perNode {
+		alive[k] = true
+		if k < len(e.assign.Work) && e.assign.Work[k] > 0 {
+			perUnit[k] = perNode[k] / e.assign.Work[k]
+		} else {
+			// No work assigned (shed to zero or quarantined): time a
+			// synthetic one-unit canary instead, so the node keeps producing
+			// samples and can be promoted once it speeds back up.
+			perUnit[k] = e.clus.ComputeTimeMem(k, fpc/1e6, 0)
+		}
+	}
+	for _, tr := range e.strag.Observe(perUnit, alive) {
+		if tr.To > tr.From {
+			e.tr.StragglerDemotions++
+			e.ob.demotions.Inc()
+		} else {
+			e.tr.StragglerPromotions++
+			e.ob.promotions.Inc()
+		}
+		e.ob.stragglerState[tr.Rank].Set(float64(tr.To))
+	}
 }
 
 // snapshotSensorHealth copies the monitor's sensing counters into the trace.

@@ -9,29 +9,87 @@ import (
 )
 
 func TestParseFaultSpec(t *testing.T) {
-	good := map[string]FaultPlan{
-		"crash:rank=2,iter=10": {Rank: 2, Iter: 10},
-		"crash:node=1,iter=25": {Rank: 1, Iter: 25},
-		"crash:iter=0,rank=0":  {Rank: 0, Iter: 0},
+	good := map[string]FaultEvent{
+		"crash:rank=2,iter=10":                 {Kind: FaultCrash, Rank: 2, Iter: 10},
+		"crash:node=1,iter=25":                 {Kind: FaultCrash, Rank: 1, Iter: 25},
+		"crash:iter=0,rank=0":                  {Kind: FaultCrash, Rank: 0, Iter: 0},
+		"rejoin:rank=2,iter=18":                {Kind: FaultRejoin, Rank: 2, Iter: 18},
+		"pause:rank=3,iter=5":                  {Kind: FaultPause, Rank: 3, Iter: 5, Until: 6},
+		"pause:rank=3,iter=5,iters=2":          {Kind: FaultPause, Rank: 3, Iter: 5, Until: 7},
+		"pause:node=3,from=5,to=9":             {Kind: FaultPause, Rank: 3, Iter: 5, Until: 9},
+		"slow:rank=1,from=12,to=20":            {Kind: FaultSlow, Rank: 1, Iter: 12, Until: 20, Factor: 4},
+		"slow:rank=1,from=12,to=20,factor=8":   {Kind: FaultSlow, Rank: 1, Iter: 12, Until: 20, Factor: 8},
+		"slow:rank=1,iter=12,iters=3,factor=2": {Kind: FaultSlow, Rank: 1, Iter: 12, Until: 15, Factor: 2},
 	}
 	for spec, want := range good {
-		plan, err := ParseFaultSpec(spec)
+		sched, err := ParseFaultSpec(spec)
 		if err != nil {
 			t.Errorf("%q: %v", spec, err)
 			continue
 		}
-		if *plan != want {
-			t.Errorf("%q = %+v, want %+v", spec, *plan, want)
+		if len(sched) != 1 || sched[0] != want {
+			t.Errorf("%q = %+v, want %+v", spec, sched, want)
 		}
 	}
 	bad := []string{
-		"", "crash", "crash:", "crash:rank=2", "crash:iter=3",
+		"", ";", "crash", "crash:", "crash:rank=2", "crash:iter=3",
 		"hang:rank=1,iter=2", "crash:rank=-1,iter=2", "crash:rank=x,iter=2",
-		"crash:rank=1,iter=2,boom=3", "crash:rank=1;iter=2",
+		"crash:rank=1,iter=2,boom=3", "crash:rank=1,iter=2,iters=3",
+		"rejoin:rank=1,iter=2,to=5", "pause:rank=1,iter=2,to=5,iters=3",
+		"pause:rank=1,from=5,to=5", "slow:rank=1,iter=2,factor=1",
+		"slow:rank=1,iter=2,factor=x", "pause:rank=1,iter=2,factor=3",
 	}
 	for _, spec := range bad {
 		if _, err := ParseFaultSpec(spec); err == nil {
 			t.Errorf("%q: accepted", spec)
+		}
+	}
+}
+
+func TestParseFaultSpecMultiEvent(t *testing.T) {
+	sched, err := ParseFaultSpec("crash:rank=2,iter=10; rejoin:rank=2,iter=18 ;slow:rank=1,from=5,to=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(sched))
+	}
+	if err := sched.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.Crashes(); len(got) != 1 || got[0].Rank != 2 {
+		t.Errorf("Crashes() = %+v", got)
+	}
+	failStop := sched.WithoutRejoins()
+	if len(failStop) != 2 {
+		t.Errorf("WithoutRejoins() = %+v", failStop)
+	}
+	for _, ev := range failStop {
+		if ev.Kind == FaultRejoin {
+			t.Errorf("rejoin survived WithoutRejoins: %+v", ev)
+		}
+	}
+}
+
+func TestFaultScheduleValidate(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+		ok   bool
+	}{
+		{"crash:rank=2,iter=10;rejoin:rank=2,iter=18", 4, true},
+		{"crash:rank=5,iter=10", 4, false},                       // rank out of range
+		{"rejoin:rank=2,iter=18", 4, false},                      // rejoin without crash
+		{"crash:rank=2,iter=10;rejoin:rank=2,iter=10", 4, false}, // rejoin not after crash
+		{"crash:rank=2,iter=10;rejoin:rank=1,iter=18", 4, false}, // rejoin of a live rank
+	}
+	for _, tc := range cases {
+		sched, err := ParseFaultSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.spec, err)
+		}
+		if err := sched.Validate(tc.n); (err == nil) != tc.ok {
+			t.Errorf("Validate(%q, n=%d) err=%v, want ok=%v", tc.spec, tc.n, err, tc.ok)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"samrpart/internal/amr"
 	"samrpart/internal/checkpoint"
 	"samrpart/internal/geom"
+	"samrpart/internal/monitor"
 	"samrpart/internal/obs"
 	"samrpart/internal/partition"
 	"samrpart/internal/transport"
@@ -21,11 +22,28 @@ import (
 // into a diagnosable ErrRankDown, not to race healthy ranks.
 const DefaultRecvDeadline = 30 * time.Second
 
+// DefaultRejoinDeadline bounds how long a restarted rank waits for the
+// survivors' welcome before giving up on re-admission.
+const DefaultRejoinDeadline = 10 * time.Second
+
+// rejoinPollEvery is the announce/welcome polling interval of the rejoin
+// handshake. It only bounds handshake latency, never correctness.
+const rejoinPollEvery = 2 * time.Millisecond
+
+// Fixed rejoin handshake tags. They are deliberately epoch-free: a restarted
+// rank cannot know the survivors' current epoch, and survivors only consume
+// announces from ranks they already agreed are dead, so stale traffic cannot
+// be confused with live protocol messages.
+const (
+	tagRejoinAnnounce = "rejoin-announce"
+	tagRejoinWelcome  = "rejoin-welcome"
+)
+
 // FTConfig enables and tunes fault tolerance for RunSPMDRank.
 //
 // Failure model: a rank crashes at an iteration boundary — it goes silent
 // before sending its heartbeat for iteration k (transport.Faulty's Kill and
-// the engine's FaultPlan both inject exactly this). Every survivor's
+// the engine's fault schedule both inject exactly this). Every survivor's
 // heartbeat receive from the dead rank then times out in the same round, so
 // detection is deterministic and collective. Mid-iteration communication
 // failures (a peer dying with ghost messages half-exchanged) are NOT
@@ -47,17 +65,27 @@ type FTConfig struct {
 	// rank must see the same filesystem (in-process groups trivially do; a
 	// real deployment uses a shared mount, as GrACE-era clusters did).
 	CheckpointDir string
+	// CheckpointKeep, when > 0, retains only that many checkpoint epochs per
+	// rank at or below the agreed stable point, pruning older shards after
+	// each write. Epochs above the stable point are never pruned — they are
+	// what the stable point advances into. 0 keeps everything.
+	CheckpointKeep int
 	// SyncCheckpoint blocks the step loop until the shard is durable instead
 	// of writing asynchronously. Deterministic tests use this so the set of
 	// restorable iterations is exact.
 	SyncCheckpoint bool
 	// ResumeFrom, when > 0, loads the iteration's shards from CheckpointDir
 	// at startup instead of calling Kernel.Init — a cold restart of a
-	// previously checkpointed run.
+	// previously checkpointed run. If the shards turn out corrupt, startup
+	// falls back to the newest intact earlier epoch (counted in
+	// SPMDResult.CkptFallbacks), re-initializing when none survives.
 	ResumeFrom int
 	// MaxRecoveries bounds how many rank failures a run will absorb before
-	// giving up (default 3; -1 = unlimited).
+	// giving up (default 3; -1 = unlimited). Re-admissions do not count.
 	MaxRecoveries int
+	// RejoinDeadline bounds how long a restarted rank waits for the
+	// survivors' welcome (default DefaultRejoinDeadline).
+	RejoinDeadline time.Duration
 }
 
 func (c FTConfig) validate() error {
@@ -70,18 +98,25 @@ func (c FTConfig) validate() error {
 	if c.CheckpointEvery > 0 && c.CheckpointDir == "" {
 		return fmt.Errorf("engine: CheckpointEvery set without CheckpointDir")
 	}
+	if c.CheckpointKeep < 0 {
+		return fmt.Errorf("engine: negative CheckpointKeep")
+	}
 	if c.ResumeFrom < 0 {
 		return fmt.Errorf("engine: negative ResumeFrom")
 	}
 	if c.ResumeFrom > 0 && c.CheckpointDir == "" {
 		return fmt.Errorf("engine: ResumeFrom set without CheckpointDir")
 	}
+	if c.RejoinDeadline < 0 {
+		return fmt.Errorf("engine: negative RejoinDeadline")
+	}
 	return nil
 }
 
 // FaultPlan injects a deterministic crash: rank Rank kills its endpoint at
 // the start of iteration Iter (before its heartbeat), exactly matching the
-// failure model FTConfig documents.
+// failure model FTConfig documents. It is the legacy single-event form of
+// SPMDConfig.Faults.
 type FaultPlan struct {
 	Rank int
 	Iter int
@@ -102,23 +137,63 @@ func killEndpoint(ep transport.Endpoint) error {
 	return nil
 }
 
-// hbMsg is the heartbeat payload: the sender's latest durable checkpoint
-// iteration and its current view of the dead set.
-type hbMsg struct {
-	Ckpt int
-	Dead []int
+// welcomeMsg is the survivors' re-admission grant: everything a restarted
+// rank needs to re-enter the collective at an iteration boundary. Boxes and
+// Owners describe the STANDING assignment (pre-admission); immediately after
+// adopting it, both sides run the identical admission repartition, with the
+// joiner as a pure receiver.
+type welcomeMsg struct {
+	// Iter is the iteration the admission happened at; the joiner resumes
+	// the step loop there, skipping the control phase it was admitted in.
+	Iter int
+	// Epoch is the post-admission tag epoch every member now uses.
+	Epoch int
+	// Stable is the collective restore point. The joiner adopts it as its
+	// own durable mark — its pre-crash shards at Stable are on disk (the
+	// stable point is the minimum durable iteration ALL ranks advertised),
+	// and advertising anything older would drag the collective backwards.
+	Stable int
+	// Alive is the post-admission membership, joiners included.
+	Alive []bool
+	// Boxes/Owners are the standing assignment the admission repartition
+	// starts from.
+	Boxes  geom.BoxList
+	Owners []int
 }
 
 // spmdRun is the mutable state of one fault-tolerant SPMD rank.
 type spmdRun struct {
-	cfg      SPMDConfig
-	ep       transport.TimedEndpoint
-	res      *SPMDResult
-	deadline time.Duration
+	cfg  SPMDConfig
+	ep   transport.TimedEndpoint
+	res  *SPMDResult
+	data time.Duration // data-plane receive deadline (dt reduce, ghosts)
+	ctrl time.Duration // control-plane deadline (heartbeats, admission)
 
 	alive    []bool
-	epoch    int // bumped per recovery; namespaces all tags
+	epoch    int // bumped per recovery/admission; namespaces all tags
 	lastPart int // iteration of the last (re)partition
+
+	// pendingJoin is the sticky set of dead ranks whose rejoin announce has
+	// been seen (locally or via a peer's heartbeat). It survives dirty
+	// rounds and is drained only when a clean round admits its members.
+	pendingJoin map[int]bool
+
+	// faultFired marks schedule events already executed, so a rollback
+	// replaying the crash iteration does not re-fire the crash.
+	faultFired  []bool
+	legacyFired bool
+
+	// strag is this rank's replica of the shared straggler detector. Every
+	// rank feeds it the identical heartbeat-gossiped timing vector on clean
+	// rounds only, so all replicas transition in lockstep and shedding
+	// needs no extra agreement round.
+	strag *monitor.StragglerDetector
+	// stepPS is the rank's latest per-cell step time (picoseconds),
+	// piggybacked on the next heartbeat. 0 = no sample yet.
+	stepPS int64
+	// canaryCur/canaryNext are the private probe patch of a workless rank
+	// (see canaryProbe).
+	canaryCur, canaryNext *amr.Patch
 
 	assign  *asnView
 	plan    *ghostPlan
@@ -140,27 +215,81 @@ type spmdRun struct {
 	ckptErr error
 }
 
+// newSPMDRun builds the per-rank runner state (everything alive, epoch 0).
+func newSPMDRun(ep transport.TimedEndpoint, cfg SPMDConfig, res *SPMDResult) *spmdRun {
+	r := &spmdRun{
+		cfg: cfg, ep: ep, res: res,
+		data:        cfg.recvDeadline(),
+		ctrl:        cfg.controlDeadline(),
+		alive:       make([]bool, ep.Size()),
+		pendingJoin: map[int]bool{},
+		faultFired:  make([]bool, len(cfg.Faults)),
+	}
+	r.sc.om = newSPMDObs(cfg.Obs, ep.Rank())
+	for i := range r.alive {
+		r.alive[i] = true
+	}
+	r.resetStraggler()
+	return r
+}
+
 // runSPMDFT is the fault-tolerant SPMD loop: heartbeat detection, collective
-// agreement on the dead set, and checkpoint-based rollback recovery.
+// agreement on the dead set, checkpoint-based rollback recovery, and
+// rank re-admission.
 func runSPMDFT(ep transport.Endpoint, cfg SPMDConfig, res *SPMDResult) (*SPMDResult, error) {
 	ted, ok := ep.(transport.TimedEndpoint)
 	if !ok {
 		return nil, fmt.Errorf("engine: fault tolerance requires a transport.TimedEndpoint")
 	}
-	r := &spmdRun{cfg: cfg, ep: ted, res: res, deadline: cfg.recvDeadline(),
-		alive: make([]bool, ep.Size())}
-	r.sc.om = newSPMDObs(cfg.Obs, ep.Rank())
-	for i := range r.alive {
-		r.alive[i] = true
-	}
+	r := newSPMDRun(ted, cfg, res)
 	start := 0
 	if cfg.FT.ResumeFrom > 0 {
 		start = cfg.FT.ResumeFrom
 	}
-	r.stable, r.durable = start, start
-	if err := r.setup(start); err != nil {
+	actual, err := r.setup(start)
+	if err != nil {
 		return nil, err
 	}
+	r.stable, r.durable = actual, actual
+	return r.loop(actual, false)
+}
+
+// RejoinSPMDRank re-enters a previously crashed rank into a running SPMD
+// group: it announces itself to every peer, waits for the survivors'
+// welcome (granted at the next clean heartbeat after they agreed the rank
+// was dead), adopts the collective state it carries, receives its share of
+// the admission repartition, and runs the remaining iterations as a full
+// member. The caller is the restarted process; ep must be the same rank
+// slot the crashed process held and implement transport.TimedEndpoint and
+// transport.Poller (transport.Faulty over the built-in transports does).
+func RejoinSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.FT.Enabled {
+		return nil, fmt.Errorf("engine: rejoin requires FT.Enabled")
+	}
+	ted, ok := ep.(transport.TimedEndpoint)
+	if !ok {
+		return nil, fmt.Errorf("engine: fault tolerance requires a transport.TimedEndpoint")
+	}
+	ted.SetDeadline(cfg.recvDeadline())
+	res := &SPMDResult{Rank: ep.Rank(), RestoredFrom: -1}
+	r := newSPMDRun(ted, cfg, res)
+	w, err := r.rejoin()
+	if err != nil {
+		return nil, err
+	}
+	res.Rejoined = true
+	return r.loop(w.Iter, true)
+}
+
+// loop runs the step loop from start. skipCtl skips the fault/heartbeat
+// control phase of the FIRST iteration only: a just-admitted rank was
+// implicitly part of the round that admitted it, so it must go straight to
+// the checkpoint/step half the survivors are about to execute.
+func (r *spmdRun) loop(start int, skipCtl bool) (*SPMDResult, error) {
+	cfg, res := r.cfg, r.res
 	hbEvery := cfg.FT.HeartbeatEvery
 	if hbEvery < 1 {
 		hbEvery = 1
@@ -170,34 +299,57 @@ func runSPMDFT(ep transport.Endpoint, cfg SPMDConfig, res *SPMDResult) (*SPMDRes
 		maxRec = 3
 	}
 	for iter := start; iter < cfg.Iterations; {
-		if cfg.Fault.hits(r.me(), iter) {
-			if err := killEndpoint(ep); err != nil {
-				return nil, err
-			}
-			res.Crashed = true
-			r.ckptWG.Wait()
-			return res, nil
-		}
-		if iter%hbEvery == 0 {
-			newDead, err := r.heartbeat(iter)
-			if err != nil {
-				return nil, err
-			}
-			if len(newDead) > 0 {
-				if maxRec >= 0 && res.Recoveries >= maxRec {
-					return nil, fmt.Errorf("engine: rank %d: giving up after %d recoveries (lost %v)",
-						r.me(), res.Recoveries, newDead)
-				}
-				restore := r.stable
-				if err := r.recoverAt(restore); err != nil {
+		if !skipCtl {
+			if ev := r.faultAt(iter); ev != nil {
+				if err := killEndpoint(r.ep); err != nil {
 					return nil, err
 				}
-				res.Recoveries++
-				res.RestoredFrom = restore
-				iter = restore
+				// A pause is a gray failure: the rank goes silent at the
+				// boundary (peers will declare it dead and recover) and
+				// immediately asks back in. A crash with a scheduled rejoin
+				// models the process being restarted; without one it is
+				// fail-stop.
+				if ev.Kind == FaultCrash && !r.rejoinScheduled(iter) {
+					res.Crashed = true
+					r.ckptWG.Wait()
+					return res, nil
+				}
+				w, err := r.rejoin()
+				if err != nil {
+					return nil, err
+				}
+				res.Rejoined = true
+				iter = w.Iter
+				skipCtl = true
 				continue
 			}
+			if iter%hbEvery == 0 {
+				newDead, joins, err := r.heartbeat(iter)
+				if err != nil {
+					return nil, err
+				}
+				if len(newDead) > 0 {
+					if maxRec >= 0 && res.Recoveries >= maxRec {
+						return nil, fmt.Errorf("engine: rank %d: giving up after %d recoveries (lost %v)",
+							r.me(), res.Recoveries, newDead)
+					}
+					actual, err := r.recoverAt(r.stable)
+					if err != nil {
+						return nil, err
+					}
+					res.Recoveries++
+					res.RestoredFrom = actual
+					iter = actual
+					continue
+				}
+				if len(joins) > 0 {
+					if err := r.admit(iter, joins); err != nil {
+						return nil, err
+					}
+				}
+			}
 		}
+		skipCtl = false
 		if cfg.FT.CheckpointEvery > 0 && iter > 0 && iter%cfg.FT.CheckpointEvery == 0 {
 			if err := r.writeCheckpoint(iter); err != nil {
 				return nil, err
@@ -228,16 +380,132 @@ func runSPMDFT(ep transport.Endpoint, cfg SPMDConfig, res *SPMDResult) (*SPMDRes
 func (r *spmdRun) me() int { return r.ep.Rank() }
 
 // prefix namespaces all tags of the current epoch, so messages from before a
-// rollback can never be mistaken for the replay's.
+// rollback or admission can never be mistaken for the replay's.
 func (r *spmdRun) prefix() string { return fmt.Sprintf("e%d-", r.epoch) }
 
-// setup (re)builds the run's distribution state for the given iteration:
-// partition over the currently-alive ranks, ghost plan, and patches — from
-// Kernel.Init at iteration 0, from checkpoint shards otherwise.
-func (r *spmdRun) setup(iter int) error {
+// faultAt returns the crash/pause schedule event firing for this rank at
+// iter, at most once per event: after a rejoin the rollback replays the
+// crash iteration, and the fault must not re-fire on the replay. The legacy
+// single FaultPlan maps to a fail-stop crash.
+func (r *spmdRun) faultAt(iter int) *FaultEvent {
+	me := r.me()
+	if !r.legacyFired && r.cfg.Fault.hits(me, iter) {
+		r.legacyFired = true
+		return &FaultEvent{Kind: FaultCrash, Rank: me, Iter: iter}
+	}
+	for i := range r.cfg.Faults {
+		ev := &r.cfg.Faults[i]
+		if r.faultFired[i] || ev.Rank != me || ev.Iter != iter {
+			continue
+		}
+		if ev.Kind != FaultCrash && ev.Kind != FaultPause {
+			continue
+		}
+		r.faultFired[i] = true
+		return ev
+	}
+	return nil
+}
+
+// rejoinScheduled reports whether the schedule rejoins this rank after a
+// crash at the given iteration. The rejoin's own Iter is honored only as an
+// ordering constraint at the SPMD level: the restarted process announces
+// immediately and the survivors admit it at their next clean heartbeat.
+func (r *spmdRun) rejoinScheduled(after int) bool {
+	for _, ev := range r.cfg.Faults {
+		if ev.Kind == FaultRejoin && ev.Rank == r.me() && ev.Iter > after {
+			return true
+		}
+	}
+	return false
+}
+
+// slowFactor returns the compute dilation the schedule applies to this rank
+// at iter (1 = none).
+func (r *spmdRun) slowFactor(iter int) float64 {
+	f := 1.0
+	for _, ev := range r.cfg.Faults {
+		if ev.Kind == FaultSlow && ev.Rank == r.me() && ev.Iter <= iter && iter < ev.Until && ev.Factor > f {
+			f = ev.Factor
+		}
+	}
+	return f
+}
+
+// resetStraggler (re)creates the detector replica. Admission resets it on
+// every member: the joiner has no EWMA history, and replicas must stay
+// identical for shedding decisions to agree without coordination.
+func (r *spmdRun) resetStraggler() {
+	if r.cfg.Straggler.Enabled {
+		r.strag = monitor.NewStragglerDetector(r.ep.Size(), r.cfg.Straggler)
+	}
+}
+
+// partitionEligible partitions the tiles over the live, non-quarantined
+// membership: quarantined ranks stay members but receive zero work, and shed
+// ranks keep a demoted capacity share. Every input is replicated state
+// (caps, alive, detector), so all ranks compute the identical assignment.
+func (r *spmdRun) partitionEligible(iter int) (*partition.Assignment, error) {
+	caps := append([]float64(nil), r.cfg.CapsAt(iter)...)
+	mask := r.alive
+	if r.strag != nil {
+		elig := make([]bool, len(r.alive))
+		any := false
+		for k := range elig {
+			elig[k] = r.alive[k] && r.strag.WorkEligible(k)
+			any = any || elig[k]
+		}
+		if any { // all-quarantined guard: fall back to plain membership
+			mask = elig
+		}
+		sum := 0.0
+		for k := range caps {
+			if f := r.strag.CapacityFactor(k); f < 1 {
+				caps[k] *= f
+				if caps[k] < 1e-3 {
+					caps[k] = 1e-3
+				}
+			}
+			sum += caps[k]
+		}
+		if sum > 0 {
+			for k := range caps {
+				caps[k] /= sum
+			}
+		}
+	}
+	return partition.PartitionAlive(r.cfg.Partitioner, r.cfg.tiles(), caps, mask, partition.CellWork)
+}
+
+// setup (re)builds the run's distribution state for the given iteration and
+// returns the iteration actually restored: partition over the currently
+// eligible ranks, ghost plan, and patches — from Kernel.Init at iteration 0,
+// from checkpoint shards otherwise. A corrupt epoch falls back to the newest
+// intact earlier one (every rank scans the same shared directory, so all
+// ranks land on the same epoch without coordination), re-initializing when
+// none survives.
+func (r *spmdRun) setup(iter int) (int, error) {
+	for {
+		err := r.setupAt(iter)
+		if err == nil {
+			return iter, nil
+		}
+		if iter <= 0 || !errors.Is(err, checkpoint.ErrCorrupt) {
+			return 0, err
+		}
+		r.res.CkptFallbacks++
+		prev := checkpoint.PrevShardIter(r.cfg.FT.CheckpointDir, iter)
+		if prev < 0 {
+			prev = 0
+		}
+		iter = prev
+	}
+}
+
+// setupAt is one restoration attempt at exactly iter.
+func (r *spmdRun) setupAt(iter int) error {
 	k := r.cfg.Kernel
-	caps := r.cfg.CapsAt(iter)
-	asn, err := partition.PartitionAlive(r.cfg.Partitioner, r.cfg.tiles(), caps, r.alive, partition.CellWork)
+	asn, err := r.partitionEligible(iter)
 	if err != nil {
 		return err
 	}
@@ -310,29 +578,63 @@ func boxIndex(b geom.Box, pt geom.Point) int {
 	return idx
 }
 
+// pollAnnounces drains rejoin announcements from ranks currently agreed
+// dead. Announces from ranks not (yet) declared dead stay queued: a rank
+// that revives faster than its death is detected is admitted only after the
+// collective has processed the death, keeping the membership history linear.
+func (r *spmdRun) pollAnnounces() {
+	po, ok := r.ep.(transport.Poller)
+	if !ok {
+		return
+	}
+	for p, a := range r.alive {
+		if a || r.pendingJoin[p] {
+			continue
+		}
+		if _, got, err := po.TryRecv(p, tagRejoinAnnounce); err == nil && got {
+			r.pendingJoin[p] = true
+		}
+	}
+}
+
+// joinList returns the pending joins, sorted.
+func (r *spmdRun) joinList() []int {
+	if len(r.pendingJoin) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(r.pendingJoin))
+	for p := range r.pendingJoin {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // heartbeat runs the two-round failure detection + agreement protocol for an
-// iteration and returns the newly-dead ranks (empty on a clean round).
+// iteration and returns the newly-dead ranks and, on a clean round, the
+// joins to admit.
 //
 // Round 1: every alive rank all-gathers an hbMsg; a receive timing out marks
 // the sender suspect. Under the boundary-crash failure model a dead rank
 // sent nothing this iteration, so every survivor times out on it in this
 // round. Round 2: ranks exchange their round-1 suspect sets and union what
 // they receive, so all survivors leave with an identical dead set even if
-// their local observations differed. On a clean round the agreed restore
-// point advances to the minimum durable checkpoint advertised by all
-// participants — every rank, including one that dies later, has its shards
-// on disk at that iteration.
-func (r *spmdRun) heartbeat(iter int) ([]int, error) {
+// their local observations differed. Pending joins ride the same two rounds:
+// any locally-discovered announce is advertised to everyone in round 1, so
+// all ranks finish the round with the identical sticky join set. On a clean
+// round the agreed restore point advances to the minimum durable checkpoint
+// advertised by all participants, the straggler detector replicas consume
+// the identical gossiped timing vector, and the pending joins are admitted.
+func (r *spmdRun) heartbeat(iter int) (newDead, joins []int, err error) {
 	me := r.me()
+	r.pollAnnounces()
 	suspects := map[int]bool{}
 	ckpts := []int{r.durableCkpt()}
+	perCell := make([]float64, len(r.alive))
+	perCell[me] = float64(r.stepPS)
 
 	send := func(round int, dead []int) error {
-		msg := hbMsg{Ckpt: r.durableCkpt(), Dead: dead}
-		payload, err := transport.EncodeGob(msg)
-		if err != nil {
-			return err
-		}
+		payload := encodeHb(hbMsg{Ckpt: r.durableCkpt(), StepPS: r.stepPS, Dead: dead, Join: r.joinList()})
 		tag := fmt.Sprintf("%shb%d-%d", r.prefix(), round, iter)
 		for p := range r.alive {
 			if p == me || !r.alive[p] || suspects[p] {
@@ -351,7 +653,7 @@ func (r *spmdRun) heartbeat(iter int) ([]int, error) {
 			if p == me || !r.alive[p] || suspects[p] {
 				continue
 			}
-			payload, err := r.ep.RecvTimeout(p, tag, r.deadline)
+			payload, err := r.ep.RecvTimeout(p, tag, r.ctrl)
 			if errors.Is(err, transport.ErrRankDown) {
 				suspects[p] = true
 				continue
@@ -359,16 +661,22 @@ func (r *spmdRun) heartbeat(iter int) ([]int, error) {
 			if err != nil {
 				return err
 			}
-			var m hbMsg
-			if err := transport.DecodeGob(payload, &m); err != nil {
+			m, err := decodeHb(payload)
+			if err != nil {
 				return err
 			}
 			if round == 1 {
 				ckpts = append(ckpts, m.Ckpt)
+				perCell[p] = float64(m.StepPS)
 			}
 			for _, d := range m.Dead {
 				if d >= 0 && d < len(r.alive) && r.alive[d] && d != me {
 					suspects[d] = true
+				}
+			}
+			for _, j := range m.Join {
+				if j >= 0 && j < len(r.alive) && !r.alive[j] {
+					r.pendingJoin[j] = true
 				}
 			}
 		}
@@ -376,10 +684,10 @@ func (r *spmdRun) heartbeat(iter int) ([]int, error) {
 	}
 
 	if err := send(1, r.deadList()); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := recv(1); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	round2Dead := r.deadList()
 	for p := range suspects {
@@ -387,10 +695,10 @@ func (r *spmdRun) heartbeat(iter int) ([]int, error) {
 	}
 	sort.Ints(round2Dead)
 	if err := send(2, round2Dead); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := recv(2); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	if len(suspects) == 0 {
@@ -401,15 +709,26 @@ func (r *spmdRun) heartbeat(iter int) ([]int, error) {
 			}
 		}
 		r.stable = stable
-		return nil, nil
+		if r.strag != nil {
+			for _, tr := range r.strag.Observe(perCell, r.alive) {
+				if tr.To > tr.From {
+					r.res.StragglerDemotions++
+				} else {
+					r.res.StragglerPromotions++
+				}
+			}
+		}
+		joins = r.joinList()
+		clear(r.pendingJoin)
+		return nil, joins, nil
 	}
-	newDead := make([]int, 0, len(suspects))
+	newDead = make([]int, 0, len(suspects))
 	for p := range suspects {
 		r.alive[p] = false
 		newDead = append(newDead, p)
 	}
 	sort.Ints(newDead)
-	return newDead, nil
+	return newDead, nil, nil
 }
 
 // deadList returns the currently-dead ranks, sorted.
@@ -423,27 +742,208 @@ func (r *spmdRun) deadList() []int {
 	return dead
 }
 
+// admit re-admits the agreed joins at an iteration boundary. Every survivor
+// marks them alive, bumps the epoch, and resets its straggler replica (the
+// joiners start with no history, and replicas must stay identical); the
+// lowest-ranked survivor grants the welcome carrying the collective state.
+// All members — joiners included, as pure receivers — then run the identical
+// admission repartition, so the work the dead rank shed flows back.
+func (r *spmdRun) admit(iter int, joins []int) error {
+	host := -1
+	for p, a := range r.alive {
+		if a {
+			host = p
+			break
+		}
+	}
+	for _, j := range joins {
+		r.alive[j] = true
+	}
+	r.epoch++
+	r.resetStraggler()
+	r.res.Admissions += len(joins)
+	if r.me() == host {
+		w := welcomeMsg{
+			Iter: iter, Epoch: r.epoch, Stable: r.stable,
+			Alive: append([]bool(nil), r.alive...),
+			Boxes: r.assign.Boxes, Owners: r.assign.Owners,
+		}
+		payload, err := transport.EncodeGob(w)
+		if err != nil {
+			return err
+		}
+		for _, j := range joins {
+			if err := r.ep.Send(j, tagRejoinWelcome, payload); err != nil {
+				return err
+			}
+			r.res.BytesSent += int64(len(payload))
+		}
+	}
+	return r.repartitionNow(iter)
+}
+
+// rejoin is the restarted rank's half of the re-admission protocol: revive
+// the transport slot, announce to every peer, wait for the survivors'
+// welcome, adopt the collective state it carries, and receive this rank's
+// share of the admission repartition.
+func (r *spmdRun) rejoin() (*welcomeMsg, error) {
+	po, ok := r.ep.(transport.Poller)
+	if !ok {
+		return nil, fmt.Errorf("engine: rejoin requires a transport.Poller endpoint")
+	}
+	// Pre-crash async shard writes settle first: the restarted process must
+	// not race its former self on the checkpoint directory.
+	r.ckptWG.Wait()
+	if rv, ok := r.ep.(transport.Reviver); ok {
+		rv.Revive()
+	}
+	for p := 0; p < r.ep.Size(); p++ {
+		if p == r.me() {
+			continue
+		}
+		if err := r.ep.Send(p, tagRejoinAnnounce, nil); err != nil {
+			return nil, err
+		}
+	}
+	deadline := r.cfg.FT.RejoinDeadline
+	if deadline <= 0 {
+		deadline = DefaultRejoinDeadline
+	}
+	var w welcomeMsg
+	found := false
+	for waited := time.Duration(0); !found && waited < deadline; {
+		for p := 0; p < r.ep.Size() && !found; p++ {
+			if p == r.me() {
+				continue
+			}
+			payload, got, err := po.TryRecv(p, tagRejoinWelcome)
+			if err != nil {
+				return nil, err
+			}
+			if !got {
+				continue
+			}
+			if err := transport.DecodeGob(payload, &w); err != nil {
+				return nil, err
+			}
+			found = true
+		}
+		if !found {
+			time.Sleep(rejoinPollEvery)
+			waited += rejoinPollEvery
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("engine: rank %d: no rejoin welcome within %v", r.me(), deadline)
+	}
+	if len(w.Alive) != len(r.alive) || len(w.Boxes) != len(w.Owners) {
+		return nil, fmt.Errorf("engine: rank %d: malformed rejoin welcome", r.me())
+	}
+	// Adopt the collective state the survivors agreed on. Durable is set to
+	// the collective stable point: this rank's pre-crash shards at that
+	// iteration are on disk by the stable point's construction, and
+	// advertising anything older would drag the whole group backwards.
+	copy(r.alive, w.Alive)
+	r.alive[r.me()] = true
+	r.epoch = w.Epoch
+	r.stable = w.Stable
+	r.ckptMu.Lock()
+	r.durable = w.Stable
+	r.ckptErr = nil
+	r.ckptMu.Unlock()
+	standing := &partition.Assignment{
+		Boxes:  w.Boxes,
+		Owners: w.Owners,
+		Work:   make([]float64, len(r.alive)),
+		Ideal:  make([]float64, len(r.alive)),
+	}
+	for i, b := range standing.Boxes {
+		standing.Work[standing.Owners[i]] += partition.CellWork(b)
+	}
+	r.assign = newAsnView(standing, r.me())
+	r.patches = map[geom.Box]*amr.Patch{}
+	r.spares = map[geom.Box]*amr.Patch{}
+	r.stepPS = 0
+	r.resetStraggler()
+	// Join the admission repartition as a pure receiver (this rank owns
+	// nothing in the standing assignment).
+	if err := r.repartitionNow(w.Iter); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// repartitionNow repartitions over the current eligible membership, remaps
+// for movement affinity, and redistributes patch data — the shared tail of
+// scheduled repartitions, recoveries are handled by setup, and admissions.
+func (r *spmdRun) repartitionNow(iter int) error {
+	cfg, k := r.cfg, r.cfg.Kernel
+	psp := r.sc.om.span(obs.PhasePartition)
+	newAssign, err := r.partitionEligible(iter)
+	if err != nil {
+		psp.End()
+		return err
+	}
+	// PartitionAlive is computed locally and deterministically on every
+	// rank, and RemapOwners is a pure function of two assignments, so every
+	// rank derives the same labels without a broadcast.
+	if !cfg.NoAffinityRemap {
+		newAssign = partition.RemapOwners(r.assign.Assignment, newAssign)
+	}
+	newView := newAsnView(newAssign, r.me())
+	psp.End()
+	r.patches, err = redistribute(r.ep, r.assign, newView, r.patches, k, iter, r.res, r.prefix(), cfg.PerPairExchange, cfg.CentralPlans, &r.sc)
+	if err != nil {
+		return err
+	}
+	r.assign = newView
+	r.plan = cfg.ghostPlanAt(newView, r.me(), r.ep.Size(), k.Ghost(), r.prefix(), &r.sc)
+	clear(r.spares)
+	r.lastPart = iter
+	r.res.Repartitions++
+	return nil
+}
+
 // recoverAt rolls the rank back to the agreed restore iteration: bump the
 // epoch (namespacing all future tags away from pre-crash traffic),
 // re-partition the tiles over the survivors, and restore patches from the
-// checkpoint shards (or re-initialize when restore == 0).
-func (r *spmdRun) recoverAt(restore int) error {
+// checkpoint shards (or re-initialize when restore == 0). It returns the
+// iteration actually restored — older than asked when the newest shards
+// were corrupt and setup fell back.
+func (r *spmdRun) recoverAt(restore int) (int, error) {
 	// Let any in-flight shard write settle before re-reading the directory.
 	r.ckptWG.Wait()
 	r.ckptMu.Lock()
 	err := r.ckptErr
 	r.ckptMu.Unlock()
 	if err != nil {
-		return fmt.Errorf("engine: async checkpoint failed before recovery: %w", err)
+		return 0, fmt.Errorf("engine: async checkpoint failed before recovery: %w", err)
 	}
 	r.epoch++
-	return r.setup(restore)
+	actual, err := r.setup(restore)
+	if err != nil {
+		return 0, err
+	}
+	if actual < restore {
+		// The epoch we believed durable was not: demote both marks so the
+		// next heartbeat re-agrees on a stable point that actually exists.
+		r.stable = actual
+		r.ckptMu.Lock()
+		if r.durable > actual {
+			r.durable = actual
+		}
+		r.ckptMu.Unlock()
+	}
+	return actual, nil
 }
 
 // writeCheckpoint snapshots the rank's owned patches as a shard for iter.
 // Patches are cloned synchronously (the cut point), then serialized and
 // written asynchronously unless SyncCheckpoint is set. Writes are serialized
-// per rank so durability is monotonic in iteration order.
+// per rank so durability is monotonic in iteration order. With retention
+// enabled, shards strictly below the agreed stable point are pruned down to
+// CheckpointKeep epochs — never at or above it, since the stable point (and
+// the corruption fallback chain under it) is what recovery restores from.
 func (r *spmdRun) writeCheckpoint(iter int) error {
 	r.ckptWG.Wait() // serialize with the previous async write
 	r.ckptMu.Lock()
@@ -461,6 +961,7 @@ func (r *spmdRun) writeCheckpoint(iter int) error {
 	}
 	sh := &checkpoint.SPMDShard{Iter: iter, Rank: r.me(), Size: r.ep.Size(), Patches: clones}
 	dir := r.cfg.FT.CheckpointDir
+	stable := r.stable // capture: the async writer must not race the loop
 	r.res.Checkpoints++
 	if r.cfg.FT.SyncCheckpoint {
 		if err := checkpoint.SaveShard(dir, sh); err != nil {
@@ -469,7 +970,7 @@ func (r *spmdRun) writeCheckpoint(iter int) error {
 		}
 		r.setDurable(iter)
 		ksp.End()
-		return nil
+		return r.pruneShards(stable)
 	}
 	ksp.End()
 	r.ckptWG.Add(1)
@@ -482,8 +983,23 @@ func (r *spmdRun) writeCheckpoint(iter int) error {
 			return
 		}
 		r.setDurable(iter)
+		if err := r.pruneShards(stable); err != nil {
+			r.ckptMu.Lock()
+			r.ckptErr = err
+			r.ckptMu.Unlock()
+		}
 	}()
 	return nil
+}
+
+// pruneShards enforces CheckpointKeep retention below the stable point.
+func (r *spmdRun) pruneShards(stable int) error {
+	keep := r.cfg.FT.CheckpointKeep
+	if keep <= 0 {
+		return nil
+	}
+	_, err := checkpoint.PruneShards(r.cfg.FT.CheckpointDir, r.me(), stable, keep)
+	return err
 }
 
 func (r *spmdRun) setDurable(iter int) {
@@ -502,37 +1018,16 @@ func (r *spmdRun) durableCkpt() int {
 
 // step executes one iteration: scheduled repartition, ghost exchange with
 // compute/communication overlap, global dt agreement, and patch advances.
-// It is the FT twin of the plain loop body, with alive-aware collectives and
-// epoch-namespaced tags.
+// It is the FT twin of the plain loop body, with alive-aware collectives,
+// epoch-namespaced tags, injected compute dilation, and per-cell step
+// timing for the straggler gossip.
 func (r *spmdRun) step(iter int) error {
 	cfg, k := r.cfg, r.cfg.Kernel
 	r.sc.om.setIter(iter)
 	if cfg.RepartEvery > 0 && iter > 0 && iter%cfg.RepartEvery == 0 && iter != r.lastPart {
-		psp := r.sc.om.span(obs.PhasePartition)
-		caps := cfg.CapsAt(iter)
-		newAssign, err := partition.PartitionAlive(cfg.Partitioner, cfg.tiles(), caps, r.alive, partition.CellWork)
-		if err != nil {
-			psp.End()
+		if err := r.repartitionNow(iter); err != nil {
 			return err
 		}
-		// Movement-aware relabeling. PartitionAlive is computed locally and
-		// deterministically on every rank, and RemapOwners is a pure function
-		// of two assignments, so every rank derives the same labels without a
-		// broadcast.
-		if !cfg.NoAffinityRemap {
-			newAssign = partition.RemapOwners(r.assign.Assignment, newAssign)
-		}
-		newView := newAsnView(newAssign, r.me())
-		psp.End()
-		r.patches, err = redistribute(r.ep, r.assign, newView, r.patches, k, iter, r.res, r.prefix(), cfg.PerPairExchange, cfg.CentralPlans, &r.sc)
-		if err != nil {
-			return err
-		}
-		r.assign = newView
-		r.plan = r.cfg.ghostPlanAt(newView, r.me(), r.ep.Size(), k.Ghost(), r.prefix(), &r.sc)
-		clear(r.spares)
-		r.lastPart = iter
-		r.res.Repartitions++
 	}
 	if err := r.plan.postSends(r.ep, r.patches, r.res); err != nil {
 		return err
@@ -554,23 +1049,82 @@ func (r *spmdRun) step(iter int) error {
 			dt = 0
 		}
 	}
+	var cells int64
 	csp := r.sc.om.span(obs.PhaseCompute)
+	t0 := time.Now()
 	for _, b := range r.plan.interior {
 		stepPatch(k, cfg.BaseGrid, r.patches, r.spares, b, dt)
 		r.res.InteriorSteps++
+		cells += b.Cells()
 	}
+	computeDur := time.Since(t0)
 	csp.End()
 	if err := r.plan.finishRecvs(r.ep, r.patches, r.res); err != nil {
 		return err
 	}
 	bsp := r.sc.om.span(obs.PhaseCompute)
+	t1 := time.Now()
 	for _, b := range r.plan.boundary {
 		stepPatch(k, cfg.BaseGrid, r.patches, r.spares, b, dt)
 		r.res.BoundarySteps++
+		cells += b.Cells()
 	}
+	computeDur += time.Since(t1)
 	bsp.End()
+	// Injected gray failure: dilate this iteration's compute proportionally
+	// to the measured work, so the rank's per-cell time reads Factor× its
+	// natural speed on any machine.
+	if f := r.slowFactor(iter); f > 1 && computeDur > 0 {
+		pad := time.Duration(float64(computeDur) * (f - 1))
+		time.Sleep(pad)
+		computeDur += pad
+	}
+	if cells > 0 {
+		r.stepPS = perCellPS(computeDur, cells)
+	} else {
+		r.canaryProbe(dt, r.slowFactor(iter))
+	}
 	r.sc.om.sync(r.res)
 	return nil
+}
+
+// perCellPS converts a compute duration over a cell count to picoseconds
+// per cell, clamped to >= 1 so "has a sample" is distinguishable from 0.
+func perCellPS(d time.Duration, cells int64) int64 {
+	ps := d.Nanoseconds() * 1000 / cells
+	if ps < 1 {
+		ps = 1
+	}
+	return ps
+}
+
+// canaryProbe keeps a workless (quarantined) rank producing comparable
+// step-time samples: it advances a small private patch nobody else sees and
+// reports that per-cell time. Without the probe a quarantined rank would
+// emit no samples, its EWMA would freeze at the value that condemned it, and
+// it could never be exonerated. An injected slow window scales the probe's
+// reading the same way it dilates real work, so a still-slow rank keeps
+// looking slow.
+func (r *spmdRun) canaryProbe(dt, factor float64) {
+	k := r.cfg.Kernel
+	if r.canaryCur == nil {
+		b := geom.Box{Rank: r.cfg.Domain.Rank}
+		for d := 0; d < b.Rank; d++ {
+			b.Lo[d] = r.cfg.Domain.Lo[d]
+			b.Hi[d] = r.cfg.Domain.Lo[d] + 7
+		}
+		r.canaryCur = amr.NewPatch(b, k.Ghost(), k.NumFields())
+		k.Init(r.canaryCur, r.cfg.BaseGrid)
+		r.canaryNext = amr.NewPatch(b, k.Ghost(), k.NumFields())
+	}
+	t0 := time.Now()
+	k.Step(r.canaryNext, r.canaryCur, r.cfg.BaseGrid, dt)
+	dur := time.Since(t0)
+	r.canaryCur, r.canaryNext = r.canaryNext, r.canaryCur
+	if factor > 1 {
+		dur = time.Duration(float64(dur) * factor)
+	}
+	r.stepPS = perCellPS(dur, r.canaryCur.Box.Cells())
 }
 
 // allReduceMin agrees on the global minimum of a float64 across the alive
@@ -595,7 +1149,7 @@ func (r *spmdRun) allReduceMin(iter int, local float64) (float64, error) {
 		if p == me || !r.alive[p] {
 			continue
 		}
-		got, err := r.ep.RecvTimeout(p, tag, r.deadline)
+		got, err := r.ep.RecvTimeout(p, tag, r.data)
 		if err != nil {
 			return 0, err
 		}

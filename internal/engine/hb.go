@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"samrpart/internal/transport"
+)
+
+// hbMsg is the heartbeat payload: the sender's latest durable checkpoint
+// iteration, its per-cell step time (picoseconds) from the previous iteration (the
+// straggler detector's input, 0 = no sample), its current view of the dead
+// set, and the dead ranks whose rejoin announcements it has seen.
+//
+// The wire format is hand-rolled rather than gob: heartbeats cross the
+// network every iteration and are parsed from untrusted bytes, so the codec
+// is fixed-layout, allocation-bounded, and returns typed errors wrapping
+// transport.ErrMalformed on any malformed input (FuzzHbMsg keeps it honest).
+type hbMsg struct {
+	Ckpt   int
+	StepPS int64
+	Dead   []int
+	Join   []int
+}
+
+// hbMaxRanks bounds the rank lists a decoded heartbeat may carry; real
+// groups are orders of magnitude smaller, and the bound caps what a
+// corrupted length prefix can make the decoder allocate.
+const hbMaxRanks = 1 << 20
+
+// hbHeader is the fixed prefix: u64 ckpt, u64 stepPS, u32 nDead, u32 nJoin.
+const hbHeader = 8 + 8 + 4 + 4
+
+// encodeHb serializes m. Rank entries are u32; negative ranks never occur.
+func encodeHb(m hbMsg) []byte {
+	out := make([]byte, hbHeader+4*(len(m.Dead)+len(m.Join)))
+	binary.LittleEndian.PutUint64(out[0:], uint64(m.Ckpt))
+	binary.LittleEndian.PutUint64(out[8:], uint64(m.StepPS))
+	binary.LittleEndian.PutUint32(out[16:], uint32(len(m.Dead)))
+	binary.LittleEndian.PutUint32(out[20:], uint32(len(m.Join)))
+	off := hbHeader
+	for _, r := range m.Dead {
+		binary.LittleEndian.PutUint32(out[off:], uint32(r))
+		off += 4
+	}
+	for _, r := range m.Join {
+		binary.LittleEndian.PutUint32(out[off:], uint32(r))
+		off += 4
+	}
+	return out
+}
+
+// decodeHb parses a heartbeat. Every failure wraps transport.ErrMalformed;
+// the declared list lengths are checked against both hbMaxRanks and the
+// actual payload size before anything is allocated.
+func decodeHb(b []byte) (hbMsg, error) {
+	if len(b) < hbHeader {
+		return hbMsg{}, fmt.Errorf("%w: heartbeat %d bytes, want >= %d", transport.ErrMalformed, len(b), hbHeader)
+	}
+	ckpt := binary.LittleEndian.Uint64(b[0:])
+	step := binary.LittleEndian.Uint64(b[8:])
+	nDead := binary.LittleEndian.Uint32(b[16:])
+	nJoin := binary.LittleEndian.Uint32(b[20:])
+	if nDead > hbMaxRanks || nJoin > hbMaxRanks {
+		return hbMsg{}, fmt.Errorf("%w: heartbeat declares %d+%d ranks", transport.ErrMalformed, nDead, nJoin)
+	}
+	want := hbHeader + 4*(int(nDead)+int(nJoin))
+	if len(b) != want {
+		return hbMsg{}, fmt.Errorf("%w: heartbeat %d bytes, want %d", transport.ErrMalformed, len(b), want)
+	}
+	m := hbMsg{Ckpt: int(int64(ckpt)), StepPS: int64(step)}
+	if m.Ckpt < 0 || m.StepPS < 0 {
+		return hbMsg{}, fmt.Errorf("%w: negative heartbeat counters", transport.ErrMalformed)
+	}
+	decodeRanks := func(off int, n uint32) ([]int, error) {
+		if n == 0 {
+			return nil, nil
+		}
+		out := make([]int, n)
+		for i := range out {
+			r := binary.LittleEndian.Uint32(b[off+4*i:])
+			if r >= hbMaxRanks {
+				return nil, fmt.Errorf("%w: heartbeat rank %d out of range", transport.ErrMalformed, r)
+			}
+			out[i] = int(r)
+		}
+		return out, nil
+	}
+	var err error
+	if m.Dead, err = decodeRanks(hbHeader, nDead); err != nil {
+		return hbMsg{}, err
+	}
+	if m.Join, err = decodeRanks(hbHeader+4*int(nDead), nJoin); err != nil {
+		return hbMsg{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"samrpart/internal/transport"
+)
+
+func TestHbCodecRoundTrip(t *testing.T) {
+	cases := []hbMsg{
+		{},
+		{Ckpt: 12, StepPS: 4815},
+		{Ckpt: 0, StepPS: 1, Dead: []int{2}},
+		{Ckpt: 99, StepPS: 1 << 40, Dead: []int{0, 3, 7}, Join: []int{5}},
+		{Join: []int{1, 2, 3, 4}},
+	}
+	for _, m := range cases {
+		got, err := decodeHb(encodeHb(m))
+		if err != nil {
+			t.Fatalf("round trip %+v: %v", m, err)
+		}
+		if got.Ckpt != m.Ckpt || got.StepPS != m.StepPS ||
+			!reflect.DeepEqual(got.Dead, m.Dead) || !reflect.DeepEqual(got.Join, m.Join) {
+			t.Errorf("round trip %+v -> %+v", m, got)
+		}
+	}
+}
+
+func TestHbDecodeMalformed(t *testing.T) {
+	good := encodeHb(hbMsg{Ckpt: 3, StepPS: 77, Dead: []int{1}, Join: []int{2}})
+	cases := map[string][]byte{
+		"empty":       nil,
+		"short":       good[:hbHeader-1],
+		"truncated":   good[:len(good)-1],
+		"trailing":    append(append([]byte(nil), good...), 0),
+		"hugeCount":   {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
+		"negCkpt":     {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"hugeRankVal": append(good[:hbHeader], 0xff, 0xff, 0xff, 0xff, 2, 0, 0, 0),
+	}
+	for name, b := range cases {
+		if _, err := decodeHb(b); !errors.Is(err, transport.ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+// FuzzHbMsg feeds arbitrary bytes to the heartbeat decoder: it must return
+// data or a typed ErrMalformed — never panic, and never allocate more than
+// the payload length justifies. Decoded messages must re-encode canonically.
+func FuzzHbMsg(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(encodeHb(hbMsg{Ckpt: 8, StepPS: 1234, Dead: []int{1, 2}, Join: []int{3}}))
+	f.Add(encodeHb(hbMsg{}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := decodeHb(b)
+		if err != nil {
+			if !errors.Is(err, transport.ErrMalformed) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if len(m.Dead)+len(m.Join) > len(b)/4 {
+			t.Fatalf("decoded %d ranks from %d bytes", len(m.Dead)+len(m.Join), len(b))
+		}
+		re := encodeHb(m)
+		if string(re) != string(b) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, b)
+		}
+	})
+}

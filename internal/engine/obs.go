@@ -23,6 +23,11 @@ type engineObs struct {
 	retainedBytes       *obs.Counter
 	fallbacks           [4]*obs.Counter // indexed by fallbackPath
 	capacity            []*obs.Gauge
+	crashes             *obs.Counter
+	rejoins             *obs.Counter
+	demotions           *obs.Counter
+	promotions          *obs.Counter
+	stragglerState      []*obs.Gauge
 }
 
 // fallbackPath indexes engineObs.fallbacks; values mirror the
@@ -58,6 +63,15 @@ func newEngineObs(rt *obs.Runtime, nodes int) engineObs {
 		retainedBytes: reg.Counter("samr_engine_retained_bytes_total",
 			"Bytes that kept their owner across repartitions."),
 		capacity: make([]*obs.Gauge, nodes),
+		crashes: reg.Counter("samr_engine_crashes_total",
+			"Injected node crashes (membership losses)."),
+		rejoins: reg.Counter("samr_engine_rejoins_total",
+			"Crashed nodes re-admitted at a repartition boundary."),
+		demotions: reg.Counter("samr_engine_straggler_demotions_total",
+			"Straggler detector demotions (normal→shed→quarantined)."),
+		promotions: reg.Counter("samr_engine_straggler_promotions_total",
+			"Straggler detector promotions back toward normal."),
+		stragglerState: make([]*obs.Gauge, nodes),
 	}
 	for p, name := range fallbackNames {
 		ob.fallbacks[p] = reg.Counter("samr_engine_fallback_total",
@@ -67,6 +81,11 @@ func newEngineObs(rt *obs.Runtime, nodes int) engineObs {
 	for k := range ob.capacity {
 		ob.capacity[k] = reg.Gauge("samr_engine_capacity",
 			"Relative capacity in effect per node.",
+			obs.Label{Key: "node", Value: strconv.Itoa(k)})
+	}
+	for k := range ob.stragglerState {
+		ob.stragglerState[k] = reg.Gauge("samr_engine_straggler_state",
+			"Straggler state per node (0 normal, 1 shed, 2 quarantined).",
 			obs.Label{Key: "node", Value: strconv.Itoa(k)})
 	}
 	return ob

@@ -8,6 +8,7 @@ import (
 
 	"samrpart/internal/amr"
 	"samrpart/internal/geom"
+	"samrpart/internal/monitor"
 	"samrpart/internal/obs"
 	"samrpart/internal/partition"
 	"samrpart/internal/solver"
@@ -42,10 +43,17 @@ type SPMDConfig struct {
 	RepartEvery int
 	// DT fixes the time step; 0 derives a global stable dt each step.
 	DT float64
-	// RecvDeadline bounds every blocking receive in the step loop (including
-	// those inside collectives) so a silently-dead peer surfaces as
-	// transport.ErrRankDown instead of a hang. 0 selects DefaultRecvDeadline.
+	// RecvDeadline bounds every blocking data-plane receive in the step loop
+	// (ghost exchange, dt agreement, migration — including those inside
+	// collectives) so a silently-dead peer surfaces as transport.ErrRankDown
+	// instead of a hang. 0 selects DefaultRecvDeadline.
 	RecvDeadline time.Duration
+	// ControlDeadline bounds the control-plane receives (heartbeats and
+	// admission rounds). Failure detection latency is this deadline, so it
+	// is usually much shorter than RecvDeadline: a tight control deadline
+	// detects deaths fast without racing bulk data transfers. 0 inherits
+	// the resolved RecvDeadline.
+	ControlDeadline time.Duration
 	// PerPairExchange restores the legacy one-message-per-box-pair halo
 	// exchange and migration paths instead of the coalesced
 	// one-message-per-peer-rank frames. Both modes are bit-exact; the
@@ -69,6 +77,16 @@ type SPMDConfig struct {
 	// rank kills its endpoint at the start of the given iteration. The
 	// endpoint must implement transport.Killer (wrap it in transport.Faulty).
 	Fault *FaultPlan
+	// Faults is the richer fault schedule (crash, rejoin, slow, pause —
+	// see ParseFaultSpec). Crash events behave like Fault; a crash followed
+	// by a rejoin event re-admits the rank through the elastic-membership
+	// protocol instead of ending its run. Non-crash kinds require FT.Enabled.
+	Faults FaultSchedule
+	// Straggler enables the replicated slow-rank detector: per-rank step
+	// timings gossiped on heartbeats feed identical detector replicas, and
+	// demoted/quarantined ranks lose capacity (or all work) at the next
+	// repartition. Requires FT.Enabled to have any effect.
+	Straggler monitor.StragglerPolicy
 	// Obs, when set, receives per-rank phase spans and transport counters.
 	// Nil disables observability; the run is then bit-identical to an
 	// uninstrumented one.
@@ -103,9 +121,22 @@ type SPMDResult struct {
 	// steps that had to wait for remote regions first.
 	InteriorSteps int64
 	BoundarySteps int64
-	// Crashed reports this rank executed an injected FaultPlan crash and
+	// Crashed reports this rank executed an injected fail-stop crash and
 	// returned early (its other counters stop at the crash point).
 	Crashed bool
+	// Rejoined reports this rank crashed (or paused) and was re-admitted
+	// into the group through the elastic-membership protocol.
+	Rejoined bool
+	// Admissions counts dead ranks this rank helped re-admit.
+	Admissions int
+	// StragglerDemotions/StragglerPromotions count slow-rank state
+	// transitions this rank's detector replica observed (demotions move
+	// toward shed/quarantined, promotions back toward normal).
+	StragglerDemotions  int
+	StragglerPromotions int
+	// CkptFallbacks counts corrupt checkpoint epochs skipped during
+	// restores (each is one step back in the retention chain).
+	CkptFallbacks int
 	// Recoveries counts completed rank-failure recoveries; RestoredFrom is
 	// the iteration the latest recovery rolled back to (0 = re-initialized).
 	Recoveries   int
@@ -135,18 +166,37 @@ func (c SPMDConfig) validate() error {
 	if c.RecvDeadline < 0 {
 		return fmt.Errorf("engine: negative recv deadline")
 	}
+	if c.ControlDeadline < 0 {
+		return fmt.Errorf("engine: negative control deadline")
+	}
 	if err := c.FT.validate(); err != nil {
 		return err
+	}
+	if !c.FT.Enabled {
+		for _, ev := range c.Faults {
+			if ev.Kind != FaultCrash {
+				return fmt.Errorf("engine: fault kind %v requires FT.Enabled", ev.Kind)
+			}
+		}
 	}
 	return nil
 }
 
-// recvDeadline resolves the configured receive bound.
+// recvDeadline resolves the configured data-plane receive bound.
 func (c SPMDConfig) recvDeadline() time.Duration {
 	if c.RecvDeadline > 0 {
 		return c.RecvDeadline
 	}
 	return DefaultRecvDeadline
+}
+
+// controlDeadline resolves the control-plane (heartbeat) receive bound,
+// inheriting the data-plane bound when unset.
+func (c SPMDConfig) controlDeadline() time.Duration {
+	if c.ControlDeadline > 0 {
+		return c.ControlDeadline
+	}
+	return c.recvDeadline()
 }
 
 // tiles decomposes the domain into fixed tiles.
@@ -286,6 +336,9 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Faults.Validate(ep.Size()); err != nil {
+		return nil, err
+	}
 	res := &SPMDResult{Rank: ep.Rank(), RestoredFrom: -1}
 	// Bound every blocking receive in the loop — including those issued
 	// inside the transport's collectives — so a silently-dead peer yields
@@ -327,7 +380,7 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		sc.om.setIter(iter)
 		// Injected crash: this rank goes silent at the iteration boundary.
-		if cfg.Fault.hits(ep.Rank(), iter) {
+		if cfg.Fault.hits(ep.Rank(), iter) || cfg.Faults.CrashAt(ep.Rank(), iter) {
 			if err := killEndpoint(ep); err != nil {
 				return nil, err
 			}

@@ -25,6 +25,10 @@ type spmdObs struct {
 	retainedBytes *obs.Counter
 	interiorSteps *obs.Counter
 	boundarySteps *obs.Counter
+	admissions    *obs.Counter
+	demotions     *obs.Counter
+	promotions    *obs.Counter
+	ckptFallbacks *obs.Counter
 
 	// lastSync snapshots the SPMDResult counters at the previous sync so
 	// the registry mirrors them by cheap deltas once per iteration instead
@@ -64,6 +68,14 @@ func newSPMDObs(rt *obs.Runtime, rank int) *spmdObs {
 			"Patch steps taken while remote halos were in flight.", rl),
 		boundarySteps: reg.Counter("samr_spmd_boundary_steps_total",
 			"Patch steps that waited on remote halo regions.", rl),
+		admissions: reg.Counter("samr_spmd_admissions_total",
+			"Dead ranks re-admitted through the rejoin protocol.", rl),
+		demotions: reg.Counter("samr_spmd_straggler_demotions_total",
+			"Straggler detector demotions observed by this rank's replica.", rl),
+		promotions: reg.Counter("samr_spmd_straggler_promotions_total",
+			"Straggler detector promotions observed by this rank's replica.", rl),
+		ckptFallbacks: reg.Counter("samr_spmd_ckpt_fallbacks_total",
+			"Corrupt checkpoint epochs skipped during restores.", rl),
 		peerBytes: map[int]*obs.Counter{},
 		peerMsgs:  map[int]*obs.Counter{},
 	}
@@ -120,6 +132,10 @@ func (om *spmdObs) sync(res *SPMDResult) {
 	om.retainedBytes.Add(res.RetainedBytes - om.lastSync.RetainedBytes)
 	om.interiorSteps.Add(res.InteriorSteps - om.lastSync.InteriorSteps)
 	om.boundarySteps.Add(res.BoundarySteps - om.lastSync.BoundarySteps)
+	om.admissions.Add(int64(res.Admissions - om.lastSync.Admissions))
+	om.demotions.Add(int64(res.StragglerDemotions - om.lastSync.StragglerDemotions))
+	om.promotions.Add(int64(res.StragglerPromotions - om.lastSync.StragglerPromotions))
+	om.ckptFallbacks.Add(int64(res.CkptFallbacks - om.lastSync.CkptFallbacks))
 	om.lastSync.BytesSent = res.BytesSent
 	om.lastSync.MsgsSent = res.MsgsSent
 	om.lastSync.MsgsRecvd = res.MsgsRecvd
@@ -127,4 +143,8 @@ func (om *spmdObs) sync(res *SPMDResult) {
 	om.lastSync.RetainedBytes = res.RetainedBytes
 	om.lastSync.InteriorSteps = res.InteriorSteps
 	om.lastSync.BoundarySteps = res.BoundarySteps
+	om.lastSync.Admissions = res.Admissions
+	om.lastSync.StragglerDemotions = res.StragglerDemotions
+	om.lastSync.StragglerPromotions = res.StragglerPromotions
+	om.lastSync.CkptFallbacks = res.CkptFallbacks
 }

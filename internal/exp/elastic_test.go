@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestElasticExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elastic experiment in -short mode")
+	}
+	res, err := Elastic(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	failStop, rejoin, shed := res.Rows[0], res.Rows[1], res.Rows[2]
+	if failStop.EndMembers != 3 || failStop.LostShare == 0 {
+		t.Errorf("fail-stop kept %d members (lost share %.2f), want a permanent loss",
+			failStop.EndMembers, failStop.LostShare)
+	}
+	if rejoin.EndMembers != 4 || rejoin.Admissions != 1 {
+		t.Errorf("rejoin ended with %d members, %d admissions, want 4 and 1",
+			rejoin.EndMembers, rejoin.Admissions)
+	}
+	if shed.EndMembers != 4 {
+		t.Errorf("rejoin+shed ended with %d members, want 4", shed.EndMembers)
+	}
+	if shed.Demotions == 0 {
+		t.Error("rejoin+shed never demoted the slowed rank")
+	}
+	for _, row := range res.Rows {
+		if !row.BitExact {
+			t.Errorf("%s diverged from the fault-free solution", row.Scenario)
+		}
+	}
+	if !res.CorruptionSurvived || res.Fallbacks == 0 {
+		t.Errorf("corruption survival = %v with %d fallbacks, want survival",
+			res.CorruptionSurvived, res.Fallbacks)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}

@@ -103,6 +103,12 @@ type RunTrace struct {
 	Sensor SensorHealth
 	// Degraded counts the control loop's fallback events.
 	Degraded DegradedCounters
+	// Crashes and Rejoins count membership events the fault schedule
+	// injected (a rejoin lifts a previous crash's load).
+	Crashes, Rejoins int
+	// StragglerDemotions and StragglerPromotions count the straggler
+	// detector's state transitions (shed/quarantine entries and exits).
+	StragglerDemotions, StragglerPromotions int
 }
 
 // SensorHealth mirrors the monitor's sensing pipeline counters into the

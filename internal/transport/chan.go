@@ -75,6 +75,14 @@ func (e *chanEndpoint) RecvTimeout(from int, tag string, d time.Duration) ([]byt
 	return e.inboxes[e.rank].get(from, tag, d, nil)
 }
 
+// TryRecv implements Poller.
+func (e *chanEndpoint) TryRecv(from int, tag string) ([]byte, bool, error) {
+	if from < 0 || from >= len(e.inboxes) {
+		return nil, false, fmt.Errorf("transport: recv from invalid rank %d", from)
+	}
+	return e.inboxes[e.rank].tryGet(from, tag)
+}
+
 // SetDeadline implements TimedEndpoint.
 func (e *chanEndpoint) SetDeadline(d time.Duration) {
 	e.mu.Lock()

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -22,6 +23,13 @@ type FaultSpec struct {
 	// Send calls — a transport-level deterministic rank death. Iteration-
 	// precise crashes are injected by the engine through Kill instead.
 	KillAfterSends int64
+	// PauseAfterSends/ResumeAfterSends, when > 0, silently swallow every
+	// Send whose ordinal falls in [PauseAfterSends, ResumeAfterSends) — a
+	// deterministic transient network partition: the rank stays alive and
+	// keeps receiving, but its outgoing traffic vanishes for the window.
+	// Iteration-precise windows are injected through Pause/Resume instead.
+	PauseAfterSends  int64
+	ResumeAfterSends int64
 }
 
 // FaultStats counts the injections a Faulty endpoint performed.
@@ -29,6 +37,10 @@ type FaultStats struct {
 	Sends   int64
 	Dropped int64
 	Delayed int64
+	// Paused counts sends swallowed by a pause window (transient partition).
+	Paused int64
+	// Slowed counts sends delayed by an injected slow link.
+	Slowed int64
 }
 
 // Killer is implemented by endpoints that can simulate a rank crash. After
@@ -36,6 +48,13 @@ type FaultStats struct {
 // peers can only learn about the death through their own deadlines.
 type Killer interface {
 	Kill()
+}
+
+// Reviver is implemented by endpoints whose simulated crash can be undone:
+// Revive models the dead process being restarted in the same transport slot.
+// The rejoin path requires it alongside Killer.
+type Reviver interface {
+	Revive()
 }
 
 // Faulty wraps any Endpoint and injects deterministic, seedable failures:
@@ -52,6 +71,8 @@ type Faulty struct {
 	rng    *rand.Rand
 	stats  FaultStats
 	killed bool
+	paused bool
+	slow   time.Duration
 }
 
 // NewFaulty wraps ep with the given fault specification.
@@ -65,6 +86,42 @@ func NewFaulty(ep Endpoint, spec FaultSpec) *Faulty {
 func (f *Faulty) Kill() {
 	f.mu.Lock()
 	f.killed = true
+	f.mu.Unlock()
+}
+
+// Revive undoes Kill: the endpoint resumes sending and receiving. It models
+// the crashed process being restarted on the same node — the transport slot
+// (rank id, inbox, connections) survives; all in-memory runtime state is the
+// restarted process's problem, which is exactly what the engine's rejoin
+// path reconstructs from checkpoints and peer state.
+func (f *Faulty) Revive() {
+	f.mu.Lock()
+	f.killed = false
+	f.mu.Unlock()
+}
+
+// Pause opens a transient-partition window: subsequent sends are silently
+// swallowed (the rank looks partitioned away) until Resume. Receives still
+// work, mirroring an asymmetric gray failure.
+func (f *Faulty) Pause() {
+	f.mu.Lock()
+	f.paused = true
+	f.mu.Unlock()
+}
+
+// Resume closes the window opened by Pause.
+func (f *Faulty) Resume() {
+	f.mu.Lock()
+	f.paused = false
+	f.mu.Unlock()
+}
+
+// SetSlowLink injects a fixed per-send latency (0 clears it) — a
+// deterministic slow-link/gray-failure injection, unlike the probabilistic
+// DelayProb. The rank stays correct but visibly lags its peers.
+func (f *Faulty) SetSlowLink(d time.Duration) {
+	f.mu.Lock()
+	f.slow = d
 	f.mu.Unlock()
 }
 
@@ -96,6 +153,14 @@ func (f *Faulty) Send(to int, tag string, payload []byte) error {
 		return nil // a dead rank's messages vanish without an error
 	}
 	f.stats.Sends++
+	paused := f.paused ||
+		(f.spec.PauseAfterSends > 0 && f.stats.Sends > f.spec.PauseAfterSends &&
+			(f.spec.ResumeAfterSends <= 0 || f.stats.Sends <= f.spec.ResumeAfterSends))
+	if paused {
+		f.stats.Paused++
+		f.mu.Unlock()
+		return nil // partitioned away: the message vanishes, no error
+	}
 	drop := f.spec.DropProb > 0 && f.rng.Float64() < f.spec.DropProb
 	delay := f.spec.DelayProb > 0 && f.rng.Float64() < f.spec.DelayProb
 	if drop {
@@ -103,6 +168,10 @@ func (f *Faulty) Send(to int, tag string, payload []byte) error {
 	}
 	if delay && !drop {
 		f.stats.Delayed++
+	}
+	slow := f.slow
+	if slow > 0 && !drop {
+		f.stats.Slowed++
 	}
 	kill := f.spec.KillAfterSends > 0 && f.stats.Sends >= f.spec.KillAfterSends
 	if kill {
@@ -114,6 +183,9 @@ func (f *Faulty) Send(to int, tag string, payload []byte) error {
 	}
 	if delay {
 		time.Sleep(f.spec.Delay)
+	}
+	if slow > 0 {
+		time.Sleep(slow)
 	}
 	return f.inner.Send(to, tag, payload)
 }
@@ -136,6 +208,18 @@ func (f *Faulty) RecvTimeout(from int, tag string, d time.Duration) ([]byte, err
 		return te.RecvTimeout(from, tag, d)
 	}
 	return f.inner.Recv(from, tag)
+}
+
+// TryRecv implements Poller when the inner endpoint does. A killed endpoint
+// reports ErrClosed like every other local operation.
+func (f *Faulty) TryRecv(from int, tag string) ([]byte, bool, error) {
+	if f.Killed() {
+		return nil, false, ErrClosed
+	}
+	if p, ok := f.inner.(Poller); ok {
+		return p.TryRecv(from, tag)
+	}
+	return nil, false, fmt.Errorf("transport: inner endpoint %T does not support TryRecv", f.inner)
 }
 
 // SetDeadline implements TimedEndpoint (no-op on untimed inner endpoints).

@@ -38,7 +38,7 @@ func AppendFloats(dst []byte, vals []float64) []byte {
 // when it suffices (pass nil to allocate). The decoded slice is returned.
 func DecodeFloats(payload []byte, dst []float64) ([]float64, error) {
 	if len(payload)%8 != 0 {
-		return nil, fmt.Errorf("transport: float payload length %d not a multiple of 8", len(payload))
+		return nil, fmt.Errorf("%w: float payload length %d not a multiple of 8", ErrMalformed, len(payload))
 	}
 	n := len(payload) / 8
 	if cap(dst) < n {

@@ -61,19 +61,22 @@ func AppendFrame(dst []byte, regions []FrameRegion, vals []float64) []byte {
 // declared region counts exactly account for the float payload.
 func DecodeFrame(payload []byte, regions []FrameRegion, vals []float64) ([]FrameRegion, []float64, error) {
 	if len(payload) < 4 {
-		return nil, nil, fmt.Errorf("transport: frame too short (%d bytes)", len(payload))
+		return nil, nil, fmt.Errorf("%w: frame too short (%d bytes)", ErrMalformed, len(payload))
 	}
 	n := int(binary.LittleEndian.Uint32(payload))
 	off := 4
-	if len(payload)-off < n*frameRegionSize {
-		return nil, nil, fmt.Errorf("transport: frame with %d regions needs %d header bytes, has %d",
-			n, n*frameRegionSize, len(payload)-off)
+	// The header-byte bound is checked in 64-bit arithmetic before any
+	// allocation, so a hostile region count can neither overflow int on a
+	// 32-bit platform nor provoke an allocation larger than the payload.
+	if int64(len(payload)-off) < int64(n)*frameRegionSize {
+		return nil, nil, fmt.Errorf("%w: frame with %d regions needs %d header bytes, has %d",
+			ErrMalformed, n, int64(n)*frameRegionSize, len(payload)-off)
 	}
 	if cap(regions) < n {
 		regions = make([]FrameRegion, n)
 	}
 	regions = regions[:n]
-	total := 0
+	var total int64
 	for i := range regions {
 		r := &regions[i]
 		r.Dst = binary.LittleEndian.Uint32(payload[off:])
@@ -83,12 +86,12 @@ func DecodeFrame(payload []byte, regions []FrameRegion, vals []float64) ([]Frame
 			r.Hi[d] = int32(binary.LittleEndian.Uint32(payload[off+20+4*d:]))
 		}
 		r.Count = binary.LittleEndian.Uint32(payload[off+32:])
-		total += int(r.Count)
+		total += int64(r.Count)
 		off += frameRegionSize
 	}
-	if len(payload)-off != 8*total {
-		return nil, nil, fmt.Errorf("transport: frame declares %d values but carries %d payload bytes",
-			total, len(payload)-off)
+	if int64(len(payload)-off) != 8*total {
+		return nil, nil, fmt.Errorf("%w: frame declares %d values but carries %d payload bytes",
+			ErrMalformed, total, len(payload)-off)
 	}
 	vals, err := DecodeFloats(payload[off:], vals)
 	if err != nil {

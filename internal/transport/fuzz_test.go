@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzDecodeFrame feeds arbitrary byte strings to the coalesced-frame
+// decoder. The invariants: a malformed payload returns an error wrapping
+// ErrMalformed (never a panic), the decoder never allocates past what the
+// payload length justifies, and every well-formed AppendFrame output decodes
+// back to exactly what was encoded.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0})
+	// A declared region count far past the payload length: must be rejected
+	// before any allocation proportional to the count.
+	huge := make([]byte, 8)
+	binary.LittleEndian.PutUint32(huge, math.MaxUint32)
+	f.Add(huge)
+	// One well-formed single-region frame.
+	ok := AppendFrame(nil,
+		[]FrameRegion{{Dst: 1, Src: 2, Lo: [3]int32{0, 0, 0}, Hi: [3]int32{1, 1, 0}, Count: 4}},
+		[]float64{1, 2, 3, 4})
+	f.Add(ok)
+	// The same frame truncated mid-payload.
+	f.Add(ok[:len(ok)-5])
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		regions, vals, err := DecodeFrame(payload, nil, nil)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("DecodeFrame error does not wrap ErrMalformed: %v", err)
+			}
+			return
+		}
+		// Allocation cap: the decoded slices cannot exceed what the payload
+		// could have carried.
+		if len(regions)*frameRegionSize > len(payload) {
+			t.Fatalf("decoded %d regions from a %d-byte payload", len(regions), len(payload))
+		}
+		if len(vals)*8 > len(payload) {
+			t.Fatalf("decoded %d floats from a %d-byte payload", len(vals), len(payload))
+		}
+		// Round-trip: re-encoding must reproduce the accepted payload.
+		re := AppendFrame(nil, regions, vals)
+		if string(re) != string(payload) {
+			t.Fatalf("accepted payload does not round-trip: %d bytes in, %d bytes out", len(payload), len(re))
+		}
+	})
+}
+
+// FuzzDecodeFloats holds the raw float codec to the same standard.
+func FuzzDecodeFloats(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(EncodeFloats([]float64{math.Pi, math.Inf(1), 0}))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		vals, err := DecodeFloats(payload, nil)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("DecodeFloats error does not wrap ErrMalformed: %v", err)
+			}
+			return
+		}
+		if len(vals) != len(payload)/8 {
+			t.Fatalf("decoded %d floats from %d bytes", len(vals), len(payload))
+		}
+	})
+}

@@ -384,6 +384,15 @@ func (e *tcpEndpoint) RecvTimeout(from int, tag string, d time.Duration) ([]byte
 	return e.inbox.get(from, tag, d, failed)
 }
 
+// TryRecv implements Poller. A down peer is not an error here: any queued
+// frames are still drained, and an empty queue just reports no message.
+func (e *tcpEndpoint) TryRecv(from int, tag string) ([]byte, bool, error) {
+	if from < 0 || from >= e.size {
+		return nil, false, fmt.Errorf("transport: recv from invalid rank %d", from)
+	}
+	return e.inbox.tryGet(from, tag)
+}
+
 // SetDeadline implements TimedEndpoint.
 func (e *tcpEndpoint) SetDeadline(d time.Duration) {
 	e.mu.Lock()

@@ -18,6 +18,13 @@ import (
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
 
+// ErrMalformed is the sentinel every wire-decoding error wraps: a frame or
+// control message that is truncated, inconsistent, or otherwise impossible
+// to have been produced by a healthy peer. Decoders return it instead of
+// panicking and never allocate more than the payload length justifies, so a
+// byzantine or corrupted peer cannot take a rank down.
+var ErrMalformed = errors.New("transport: malformed message")
+
 // ErrRankDown is the sentinel a *RankDownError matches under errors.Is: a
 // peer is unreachable — its receive deadline expired, its connection dropped
 // without a replacement, or reconnection attempts were exhausted.
@@ -80,6 +87,17 @@ type TimedEndpoint interface {
 	// issued internally by the collectives — by d (0 removes the bound).
 	// On the TCP transport it also bounds each Send's socket write.
 	SetDeadline(d time.Duration)
+}
+
+// Poller extends Endpoint with a non-blocking receive. Both built-in
+// transports and the Faulty wrapper implement it; the fault-tolerant SPMD
+// runner uses it to poll for out-of-band control traffic (rank rejoin
+// announcements) without stalling the iteration loop.
+type Poller interface {
+	// TryRecv pops the next queued message for (from, tag) if one is
+	// already buffered. ok reports whether a message was returned; an
+	// empty queue is (nil, false, nil), not an error.
+	TryRecv(from int, tag string) ([]byte, bool, error)
 }
 
 // inboxKey routes messages by (source, tag).
@@ -158,6 +176,26 @@ func (ib *inbox) get(from int, tag string, d time.Duration, failed func() error)
 		}
 		ib.cond.Wait()
 	}
+}
+
+// tryGet pops the next message for (from, tag) without blocking.
+func (ib *inbox) tryGet(from int, tag string) ([]byte, bool, error) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	k := inboxKey{from, tag}
+	if q := ib.queues[k]; len(q) > 0 {
+		msg := q[0]
+		if len(q) == 1 {
+			delete(ib.queues, k)
+		} else {
+			ib.queues[k] = q[1:]
+		}
+		return msg, true, nil
+	}
+	if ib.closed {
+		return nil, false, ErrClosed
+	}
+	return nil, false, nil
 }
 
 // wake re-broadcasts to blocked receivers (used when peer liveness changes).

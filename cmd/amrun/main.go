@@ -37,25 +37,27 @@ func hygieneConfig(on bool) monitor.Hygiene {
 
 func main() {
 	var (
-		nodes     = flag.Int("nodes", 4, "cluster size")
-		pname     = flag.String("partitioner", "hetero", "hetero | composite | sfchetero | levelwise | hierarchical | greedy | roundrobin")
-		groupSize = flag.Int("group-size", 4, "nodes per capacity group for -partitioner hierarchical")
-		kernel    = flag.String("kernel", "rm3d", "rm3d (oracle-driven) | advect2d | muscl2d | buckley (real numerics)")
-		iters     = flag.Int("iters", 50, "coarse iterations")
-		regrid    = flag.Int("regrid", 5, "regrid every N iterations")
-		sense     = flag.Int("sense", 0, "re-sense every N iterations (0 = once at start)")
-		load      = flag.Bool("load", false, "apply the paper's synthetic background-load script")
-		verbose   = flag.Bool("v", false, "print per-regrid assignments")
-		forecast  = flag.String("forecaster", "last", "monitor forecaster: last|mean|median|ewma|adaptive")
-		saveCkpt  = flag.String("save", "", "write a checkpoint of the final state to this file")
-		loadCkpt  = flag.String("restore", "", "restore hierarchy/solution from this checkpoint before running")
-		stats     = flag.Bool("stats", false, "print per-level hierarchy statistics")
-		workers   = flag.Int("workers", 0, "solver worker-pool width (0 = all cores, 1 = serial; any value is bit-exact)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		ckEvery   = flag.Int("checkpoint-every", 0, "write a periodic checkpoint every N iterations (0 = off)")
-		ckPath    = flag.String("checkpoint-path", "", "periodic checkpoint file (required with -checkpoint-every)")
-		faultStr  = flag.String("fault-spec", "",
+		nodes        = flag.Int("nodes", 4, "cluster size")
+		pname        = flag.String("partitioner", "hetero", "hetero | composite | sfchetero | levelwise | hierarchical | greedy | roundrobin")
+		groupSize    = flag.Int("group-size", 4, "nodes per capacity group for -partitioner hierarchical")
+		kernel       = flag.String("kernel", "rm3d", "rm3d (oracle-driven) | advect2d | muscl2d | buckley (real numerics)")
+		iters        = flag.Int("iters", 50, "coarse iterations")
+		regrid       = flag.Int("regrid", 5, "regrid every N iterations")
+		sense        = flag.Int("sense", 0, "re-sense every N iterations (0 = once at start)")
+		load         = flag.Bool("load", false, "apply the paper's synthetic background-load script")
+		verbose      = flag.Bool("v", false, "print per-regrid assignments")
+		forecast     = flag.String("forecaster", "last", "monitor forecaster: last|mean|median|ewma|adaptive")
+		saveCkpt     = flag.String("save", "", "write a checkpoint of the final state to this file")
+		loadCkpt     = flag.String("restore", "", "restore hierarchy/solution from this checkpoint before running")
+		stats        = flag.Bool("stats", false, "print per-level hierarchy statistics")
+		workers      = flag.Int("workers", 0, "solver worker-pool width (0 = all cores, 1 = serial; any value is bit-exact)")
+		senseWorkers = flag.Int("sense-workers", 0,
+			"monitor probe fan-out width (0/1 = serial; >1 probes that many nodes concurrently, bit-exact)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		ckEvery  = flag.Int("checkpoint-every", 0, "write a periodic checkpoint every N iterations (0 = off)")
+		ckPath   = flag.String("checkpoint-path", "", "periodic checkpoint file (required with -checkpoint-every)")
+		faultStr = flag.String("fault-spec", "",
 			"inject ';'-separated faults, e.g. crash:node=2,iter=10;rejoin:node=2,iter=18;slow:node=1,from=5,to=12,factor=4 (kinds: crash|rejoin|pause|slow; see DESIGN.md §13)")
 		rejoinOK = flag.Bool("rejoin", true,
 			"honor rejoin: events in -fault-spec; false strips them for a fail-stop baseline of the same churn script")
@@ -247,6 +249,7 @@ func main() {
 		SenseEvery:           *sense,
 		Forecaster:           *forecast,
 		Workers:              *workers,
+		SenseWorkers:         *senseWorkers,
 		CheckpointEvery:      *ckEvery,
 		CheckpointPath:       *ckPath,
 		CheckpointKeep:       *ckKeep,

@@ -13,6 +13,7 @@ import (
 	"samrpart/internal/geom"
 	"samrpart/internal/monitor"
 	"samrpart/internal/obs"
+	"samrpart/internal/parallel"
 	"samrpart/internal/partition"
 	"samrpart/internal/trace"
 )
@@ -47,6 +48,12 @@ type Config struct {
 	// out over all cores, 1 forces serial execution. Either way the
 	// solution is bit-identical.
 	Workers int
+	// SenseWorkers bounds the monitor's probe fan-out (Monitor.SetWorkers):
+	// with n > 1 each Sense probes up to n nodes concurrently and merges
+	// the results in node order, bit-identical to the serial sweep. 0 or 1
+	// keeps probes serial — unlike Workers, concurrency here is opt-in
+	// because it requires a prober that tolerates concurrent Probe calls.
+	SenseWorkers int
 	// CheckpointEvery writes a checkpoint to CheckpointPath every N
 	// iterations (0 disables). The state is captured synchronously at the
 	// iteration boundary; the file write happens in the background and is
@@ -208,6 +215,7 @@ func New(cfg Config, clus *cluster.Cluster) (*Engine, error) {
 		return f
 	})
 	mon.SetHygiene(cfg.Hygiene)
+	mon.SetWorkers(cfg.SenseWorkers)
 	if wc, ok := cfg.App.(WorkerConfigurable); ok {
 		wc.SetWorkers(cfg.Workers)
 	}
@@ -338,9 +346,12 @@ func (e *Engine) sense(iter int) error {
 func (e *Engine) trueCaps() []float64 {
 	p := monitor.ClusterProber{C: e.clus}
 	ms := make([]capacity.Measurement, e.clus.NumNodes())
-	for k := range ms {
+	// ClusterProber is read-only, so the ground-truth sweep fans out over
+	// the worker pool; each probe writes only its own slot and Relative
+	// folds the slice in index order, so the result is width-independent.
+	parallel.For(e.cfg.Workers, len(ms), func(k int) {
 		ms[k] = p.Probe(k)
-	}
+	})
 	caps, err := capacity.Relative(ms, e.cfg.Weights)
 	if err != nil {
 		return nil

@@ -226,6 +226,7 @@ func newSPMDRun(ep transport.TimedEndpoint, cfg SPMDConfig, res *SPMDResult) *sp
 		faultFired:  make([]bool, len(cfg.Faults)),
 	}
 	r.sc.om = newSPMDObs(cfg.Obs, ep.Rank())
+	r.sc.workers = cfg.Workers
 	for i := range r.alive {
 		r.alive[i] = true
 	}
@@ -441,13 +442,13 @@ func (r *spmdRun) resetStraggler() {
 	}
 }
 
-// partitionEligible partitions the tiles over the live, non-quarantined
-// membership: quarantined ranks stay members but receive zero work, and shed
-// ranks keep a demoted capacity share. Every input is replicated state
-// (caps, alive, detector), so all ranks compute the identical assignment.
-func (r *spmdRun) partitionEligible(iter int) (*partition.Assignment, error) {
-	caps := append([]float64(nil), r.cfg.CapsAt(iter)...)
-	mask := r.alive
+// eligibleCaps computes the capacity vector and work-eligibility mask for a
+// repartition: quarantined ranks stay members but receive zero work, and
+// shed ranks keep a demoted capacity share. Every input is replicated state
+// (caps, alive, detector), so all ranks derive identical vectors.
+func (r *spmdRun) eligibleCaps(iter int) (caps []float64, mask []bool) {
+	caps = append([]float64(nil), r.cfg.CapsAt(iter)...)
+	mask = r.alive
 	if r.strag != nil {
 		elig := make([]bool, len(r.alive))
 		any := false
@@ -474,7 +475,148 @@ func (r *spmdRun) partitionEligible(iter int) (*partition.Assignment, error) {
 			}
 		}
 	}
+	return caps, mask
+}
+
+// partitionEligible partitions the tiles over the live, non-quarantined
+// membership, fully replicated: every rank computes the identical assignment
+// from shared state with zero messages. Recovery paths (setup, recoverAt)
+// must use this form — they run when the group is not known to be
+// synchronized, so they may not communicate.
+func (r *spmdRun) partitionEligible(iter int) (*partition.Assignment, error) {
+	caps, mask := r.eligibleCaps(iter)
 	return partition.PartitionAlive(r.cfg.Partitioner, r.cfg.tiles(), caps, mask, partition.CellWork)
+}
+
+// wireEligibleAssignment is the full assignment the repartition root ships to
+// the other alive ranks under group-local stage 2. Work and Ideal travel too
+// (they are O(ranks), noise next to the box table): receivers adopt the
+// root's assignment verbatim, so bit-identity with the replicated oracle
+// needs no recomputation argument on the receive side.
+type wireEligibleAssignment struct {
+	Boxes  []geom.Box
+	Owners []int
+	Work   []float64
+	Ideal  []float64
+}
+
+// partitionEligibleGroupLocal is partitionEligible with stage 2 computed
+// group-locally: each eligible rank computes the replicated stage-1 plan
+// over the compacted (alive, non-quarantined) capacity vector but slices
+// only its own group's segment; group leaders ship segments to the lowest
+// alive rank, which assembles, re-expands to global node ids, and sends the
+// full assignment to every other alive rank. CompactAlive/ExpandAlive and
+// GroupPlan.Assemble are exactly the pieces PartitionAlive composes, so the
+// root's assignment is bit-identical to the replicated oracle; every other
+// rank adopts it verbatim. Quarantined ranks own no compact slot and
+// participate as pure receivers. Only repartitionNow may call this — all
+// alive ranks enter it synchronously — never the recovery paths, which must
+// stay communication-free. Sends are control-plane: bytes counted, message
+// counters untouched.
+func (r *spmdRun) partitionEligibleGroupLocal(h *partition.Hierarchical, iter int) (*partition.Assignment, error) {
+	caps, mask := r.eligibleCaps(iter)
+	compact, global, err := partition.CompactAlive(caps, mask)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := h.PlanGroups(r.cfg.tiles(), compact, partition.CellWork)
+	if err != nil {
+		return nil, err
+	}
+	me := r.me()
+	root := -1
+	for p, a := range r.alive {
+		if a {
+			root = p
+			break
+		}
+	}
+	globalOf := func(ci int) int {
+		if global == nil {
+			return ci
+		}
+		return global[ci]
+	}
+	myCompact := -1
+	if global == nil {
+		myCompact = me
+	} else {
+		for ci, gk := range global {
+			if gk == me {
+				myCompact = ci
+				break
+			}
+		}
+	}
+	segTag := r.prefix() + fmt.Sprintf("s2seg-%d", iter)
+	asnTag := r.prefix() + fmt.Sprintf("s2asn-%d", iter)
+	var mySeg partition.GroupSegment
+	if myCompact >= 0 {
+		g := plan.GroupOf(myCompact)
+		boxes, owners := plan.PartitionGroup(g)
+		mySeg = partition.GroupSegment{Boxes: boxes, Owners: owners}
+		if leader := globalOf(plan.Members[g][0]); leader == me && me != root {
+			payload, err := transport.EncodeGob(mySeg)
+			if err != nil {
+				return nil, err
+			}
+			if err := r.ep.Send(root, segTag, payload); err != nil {
+				return nil, err
+			}
+			r.res.BytesSent += int64(len(payload))
+		}
+	}
+	if me != root {
+		payload, err := r.ep.Recv(root, asnTag)
+		if err != nil {
+			return nil, err
+		}
+		var w wireEligibleAssignment
+		if err := transport.DecodeGob(payload, &w); err != nil {
+			return nil, err
+		}
+		return &partition.Assignment{Boxes: w.Boxes, Owners: w.Owners, Work: w.Work, Ideal: w.Ideal}, nil
+	}
+	segs := make([]partition.GroupSegment, plan.NumGroups())
+	for gi := range segs {
+		leader := globalOf(plan.Members[gi][0])
+		if leader == me {
+			segs[gi] = mySeg
+			continue
+		}
+		payload, err := r.ep.Recv(leader, segTag)
+		if err != nil {
+			return nil, err
+		}
+		var s partition.GroupSegment
+		if err := transport.DecodeGob(payload, &s); err != nil {
+			return nil, err
+		}
+		segs[gi] = s
+	}
+	asn, err := plan.Assemble(segs)
+	if err != nil {
+		return nil, err
+	}
+	if global != nil {
+		asn = partition.ExpandAlive(asn, global, len(caps))
+	}
+	payload, err := transport.EncodeGob(wireEligibleAssignment{
+		Boxes: asn.Boxes, Owners: asn.Owners, Work: asn.Work, Ideal: asn.Ideal,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, a := range r.alive {
+		if !a || p == me {
+			continue
+		}
+		if err := r.ep.Send(p, asnTag, payload); err != nil {
+			return nil, err
+		}
+		r.res.BytesSent += int64(len(payload))
+	}
+	return asn, nil
 }
 
 // setup (re)builds the run's distribution state for the given iteration and
@@ -879,7 +1021,15 @@ func (r *spmdRun) rejoin() (*welcomeMsg, error) {
 func (r *spmdRun) repartitionNow(iter int) error {
 	cfg, k := r.cfg, r.cfg.Kernel
 	psp := r.sc.om.span(obs.PhasePartition)
-	newAssign, err := r.partitionEligible(iter)
+	var newAssign *partition.Assignment
+	var err error
+	if h, ok := cfg.Partitioner.(*partition.Hierarchical); ok && !cfg.CentralPartition && r.ep.Size() > 1 {
+		// All alive ranks enter repartitionNow synchronously, so the
+		// group-local gather is safe here (and only here).
+		newAssign, err = r.partitionEligibleGroupLocal(h, iter)
+	} else {
+		newAssign, err = r.partitionEligible(iter)
+	}
 	if err != nil {
 		psp.End()
 		return err

@@ -10,6 +10,7 @@ import (
 	"samrpart/internal/geom"
 	"samrpart/internal/monitor"
 	"samrpart/internal/obs"
+	"samrpart/internal/parallel"
 	"samrpart/internal/partition"
 	"samrpart/internal/solver"
 	"samrpart/internal/transport"
@@ -67,6 +68,23 @@ type SPMDConfig struct {
 	// path survives as the differential oracle and as the baseline the
 	// weak-scaling study measures the distributed builders against.
 	CentralPlans bool
+	// CentralPartition retains the centralized partition decision — the full
+	// Partitioner.Partition over all boxes computed in one place (rank 0 in
+	// the plain runner, every rank replicated in the FT runner) — instead of
+	// the default group-local stage 2 used when the partitioner is
+	// hierarchical: each rank slices only its own group's SFC segment and the
+	// segments are assembled from the group leaders. Both paths produce
+	// bit-identical assignments (GroupPlan.Assemble replays Partition's exact
+	// composition order); the central path survives as the differential
+	// oracle and as the baseline for the stage-2 scaling study.
+	CentralPartition bool
+	// Workers bounds the worker pool used for plan construction and frame
+	// pack/unpack inside a rank. Unlike the engine Config knob, 0 (the zero
+	// value) keeps the serial path — an SPMD rank usually shares its host
+	// with peer ranks, so intra-rank fan-out is opt-in; values > 1 enable
+	// that many workers. Every parallel site merges in a fixed order, so
+	// results are bit-identical at any width.
+	Workers int
 	// NoAffinityRemap disables the movement-aware owner relabeling
 	// (partition.RemapOwners) applied after each scheduled repartition, so
 	// experiments can measure the migration volume it saves.
@@ -355,6 +373,7 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 	// carries the rank's observability handles into the shared paths.
 	var sc commScratch
 	sc.om = newSPMDObs(cfg.Obs, ep.Rank())
+	sc.workers = cfg.Workers
 	// --- Initial partition (computed identically on every rank; tiles and
 	// capacities are deterministic, so no broadcast is strictly needed,
 	// but rank 0 broadcasts to guarantee agreement).
@@ -497,7 +516,18 @@ func stepPatch(k solver.Kernel, g solver.Grid, patches, spares map[geom.Box]*amr
 // state regardless of which form traveled.
 func (c SPMDConfig) partitionAt(ep transport.Endpoint, iter int, prev *asnView, res *SPMDResult) (*asnView, error) {
 	var wire wireAssignment
-	if ep.Rank() == 0 {
+	if h, ok := c.Partitioner.(*partition.Hierarchical); ok && !c.CentralPartition && ep.Size() > 1 {
+		a, err := c.groupLocalPartition(ep, h, iter, res)
+		if err != nil {
+			return nil, err
+		}
+		if ep.Rank() == 0 {
+			if prev != nil && !c.NoAffinityRemap {
+				a = partition.RemapOwners(prev.Assignment, a)
+			}
+			wire = encodeAssignment(prev, a)
+		}
+	} else if ep.Rank() == 0 {
 		caps := c.CapsAt(iter)
 		a, err := c.Partitioner.Partition(c.tiles(), caps, partition.CellWork)
 		if err != nil {
@@ -539,6 +569,61 @@ func (c SPMDConfig) partitionAt(ep transport.Endpoint, iter int, prev *asnView, 
 		a.Work[a.Owners[i]] += partition.CellWork(b)
 	}
 	return newAsnView(a, ep.Rank()), nil
+}
+
+// groupLocalPartition is the decentralized stage 2 of the hierarchical
+// partitioner: every rank computes the small stage-1 GroupPlan (a sort plus
+// a quota walk, replicated since its inputs are) but slices only its own
+// group's SFC segment — O(boxes/groups · log) instead of O(boxes · log) per
+// rank. Group leaders ship their segment to rank 0, which assembles the full
+// assignment; GroupPlan.Assemble replays Hierarchical.Partition's exact
+// composition order, so the result is bit-identical to the centralized path
+// and feeds the unchanged owner-delta broadcast. Returns the assembled
+// assignment on rank 0 and nil elsewhere (other ranks learn the global
+// ownership from the broadcast, as before). Segment sends are control-plane
+// traffic: bytes are counted, data-plane message counters are not.
+func (c SPMDConfig) groupLocalPartition(ep transport.Endpoint, h *partition.Hierarchical, iter int, res *SPMDResult) (*partition.Assignment, error) {
+	caps := c.CapsAt(iter)
+	plan, err := h.PlanGroups(c.tiles(), caps, partition.CellWork)
+	if err != nil {
+		return nil, err
+	}
+	me := ep.Rank()
+	g := plan.GroupOf(me)
+	boxes, owners := plan.PartitionGroup(g)
+	seg := partition.GroupSegment{Boxes: boxes, Owners: owners}
+	tag := fmt.Sprintf("s2seg-%d", iter)
+	if me != 0 {
+		if plan.Members[g][0] == me {
+			payload, err := transport.EncodeGob(seg)
+			if err != nil {
+				return nil, err
+			}
+			if err := ep.Send(0, tag, payload); err != nil {
+				return nil, err
+			}
+			res.BytesSent += int64(len(payload))
+		}
+		return nil, nil
+	}
+	segs := make([]partition.GroupSegment, plan.NumGroups())
+	for gi := range segs {
+		leader := plan.Members[gi][0]
+		if leader == 0 {
+			segs[gi] = seg
+			continue
+		}
+		payload, err := ep.Recv(leader, tag)
+		if err != nil {
+			return nil, err
+		}
+		var s partition.GroupSegment
+		if err := transport.DecodeGob(payload, &s); err != nil {
+			return nil, err
+		}
+		segs[gi] = s
+	}
+	return plan.Assemble(segs)
 }
 
 // encodeAssignment chooses the broadcast form: owner deltas relative to the
@@ -620,10 +705,47 @@ type commScratch struct {
 	// actually changes, not on every repartition.
 	indexes indexCache
 
+	// workers is the intra-rank fan-out width (SPMDConfig.Workers): plan
+	// construction and coalesced frame pack/unpack chunk across this many
+	// workers when > 1. The zero value keeps every path serial, so a raw
+	// commScratch{} (tests, benchmarks, recovery helpers) behaves exactly as
+	// before the pool existed.
+	workers int
+
+	// spanFloats/spanRegions/spanBytes are the per-peer-span twins of
+	// floats/regions/bytes used by the parallel frame packer — one private
+	// buffer set per concurrently packed span, pooled across iterations.
+	spanFloats  [][]float64
+	spanRegions [][]transport.FrameRegion
+	spanBytes   [][]byte
+
+	// offsets/applyErrs are the parallel unpacker's pooled scratch: serial
+	// prefix-sum frame offsets, then one error slot per concurrently applied
+	// region.
+	offsets   []int
+	applyErrs []error
+
 	// om is the rank's observability handle set (nil when off). It lives on
 	// the scratch because the scratch already threads through every shared
 	// communication path of both the plain and the fault-tolerant runner.
 	om *spmdObs
+}
+
+// spanScratch returns n pooled per-span buffer sets, growing the pools on
+// demand (repartitions can change the peer count).
+func (sc *commScratch) spanScratch(n int) {
+	for len(sc.spanFloats) < n {
+		sc.spanFloats = append(sc.spanFloats, nil)
+		sc.spanRegions = append(sc.spanRegions, nil)
+		sc.spanBytes = append(sc.spanBytes, nil)
+	}
+}
+
+// chunkRange splits [0, n) into w contiguous chunks and returns chunk c's
+// bounds. Contiguous chunks keep per-chunk output in global index order, so
+// concatenating chunk results in chunk order reproduces the serial order.
+func chunkRange(n, w, c int) (lo, hi int) {
+	return n * c / w, n * (c + 1) / w
 }
 
 // indexCache keeps the two most recent uniform-grid indexes keyed by
@@ -729,35 +851,96 @@ func buildGhostPlan(v *asnView, me, ghost int, prefix string, perPair bool, sc *
 	pl := &ghostPlan{perPair: perPair, sc: sc}
 	idx := sc.indexes.get(a.Boxes)
 	needsRemote := map[geom.Box]bool{}
-	hits := sc.query
-	for _, i := range v.mine {
-		bi := a.Boxes[i]
-		grown := bi.Grow(ghost)
-		hits = idx.Query(grown, hits)
-		for _, j := range hits {
-			if j == i {
-				continue
-			}
-			bj := a.Boxes[j]
-			oj := a.Owners[j]
-			if oj == me {
-				pl.locals = append(pl.locals, [2]geom.Box{bi, bj})
-				continue
-			}
-			// bj's owner sends me my halo cells grown(bi)∩bj ...
-			pl.recvs = append(pl.recvs, ghostRecv{
-				dstIdx: i, srcIdx: j, dst: bi, region: grown.Intersect(bj),
-				from: oj, tag: fmt.Sprintf("%sg%d-%d", prefix, i, j),
-			})
-			needsRemote[bi] = true
-			// ... and symmetrically I feed bj's halo from bi.
-			pl.sends = append(pl.sends, ghostSend{
-				dstIdx: j, srcIdx: i, src: bi, region: bj.Grow(ghost).Intersect(bi),
-				to: oj, tag: fmt.Sprintf("%sg%d-%d", prefix, j, i),
-			})
+	if w := sc.workers; w > 1 && len(v.mine) > 1 {
+		// Chunked fan-out: contiguous chunks of the mine list, each worker
+		// appending to private buckets with its own query scratch (the index
+		// itself is read-only). Concatenating buckets in chunk order exactly
+		// reproduces the serial append order, and finish()'s canonical sort
+		// over unique keys is order-insensitive anyway.
+		if w > len(v.mine) {
+			w = len(v.mine)
 		}
+		type ghostPart struct {
+			sends  []ghostSend
+			recvs  []ghostRecv
+			locals [][2]geom.Box
+			remote []geom.Box
+		}
+		parts := make([]ghostPart, w)
+		parallel.For(w, w, func(c int) {
+			lo, hi := chunkRange(len(v.mine), w, c)
+			var qs geom.QueryScratch
+			var hits []int
+			p := &parts[c]
+			for _, i := range v.mine[lo:hi] {
+				bi := a.Boxes[i]
+				grown := bi.Grow(ghost)
+				hits = idx.QueryWith(&qs, grown, hits)
+				hadRemote := false
+				for _, j := range hits {
+					if j == i {
+						continue
+					}
+					bj := a.Boxes[j]
+					oj := a.Owners[j]
+					if oj == me {
+						p.locals = append(p.locals, [2]geom.Box{bi, bj})
+						continue
+					}
+					p.recvs = append(p.recvs, ghostRecv{
+						dstIdx: i, srcIdx: j, dst: bi, region: grown.Intersect(bj),
+						from: oj, tag: fmt.Sprintf("%sg%d-%d", prefix, i, j),
+					})
+					hadRemote = true
+					p.sends = append(p.sends, ghostSend{
+						dstIdx: j, srcIdx: i, src: bi, region: bj.Grow(ghost).Intersect(bi),
+						to: oj, tag: fmt.Sprintf("%sg%d-%d", prefix, j, i),
+					})
+				}
+				if hadRemote {
+					p.remote = append(p.remote, bi)
+				}
+			}
+		})
+		for _, p := range parts {
+			pl.sends = append(pl.sends, p.sends...)
+			pl.recvs = append(pl.recvs, p.recvs...)
+			pl.locals = append(pl.locals, p.locals...)
+			for _, b := range p.remote {
+				needsRemote[b] = true
+			}
+		}
+	} else {
+		hits := sc.query
+		for _, i := range v.mine {
+			bi := a.Boxes[i]
+			grown := bi.Grow(ghost)
+			hits = idx.Query(grown, hits)
+			for _, j := range hits {
+				if j == i {
+					continue
+				}
+				bj := a.Boxes[j]
+				oj := a.Owners[j]
+				if oj == me {
+					pl.locals = append(pl.locals, [2]geom.Box{bi, bj})
+					continue
+				}
+				// bj's owner sends me my halo cells grown(bi)∩bj ...
+				pl.recvs = append(pl.recvs, ghostRecv{
+					dstIdx: i, srcIdx: j, dst: bi, region: grown.Intersect(bj),
+					from: oj, tag: fmt.Sprintf("%sg%d-%d", prefix, i, j),
+				})
+				needsRemote[bi] = true
+				// ... and symmetrically I feed bj's halo from bi.
+				pl.sends = append(pl.sends, ghostSend{
+					dstIdx: j, srcIdx: i, src: bi, region: bj.Grow(ghost).Intersect(bi),
+					to: oj, tag: fmt.Sprintf("%sg%d-%d", prefix, j, i),
+				})
+			}
+		}
+		sc.query = hits
 	}
-	sc.query = hits
 	pl.finish(prefix)
 	for _, i := range v.mine {
 		b := a.Boxes[i]
@@ -880,6 +1063,32 @@ func (pl *ghostPlan) postSends(ep transport.Endpoint, patches map[geom.Box]*amr.
 			res.MsgsSent++
 			sc.om.peerSent(s.to, len(sc.bytes))
 		}
+	} else if w := sc.workers; w > 1 && len(pl.sendPeers) > 1 {
+		// Pack every peer's frame concurrently into pooled per-span buffers,
+		// then send serially in span order — identical bytes and identical
+		// wire order to the serial packer.
+		spans := pl.sendPeers
+		sc.spanScratch(len(spans))
+		parallel.For(w, len(spans), func(si int) {
+			span := spans[si]
+			fl, rg := sc.spanFloats[si][:0], sc.spanRegions[si][:0]
+			for _, s := range pl.sends[span.lo:span.hi] {
+				n0 := len(fl)
+				fl = extractAppend(fl, patches[s.src], s.region)
+				rg = append(rg, frameRegion(s.dstIdx, s.srcIdx, s.region, len(fl)-n0))
+			}
+			sc.spanBytes[si] = transport.AppendFrame(sc.spanBytes[si][:0], rg, fl)
+			sc.spanFloats[si], sc.spanRegions[si] = fl, rg
+		})
+		for si, span := range spans {
+			b := sc.spanBytes[si]
+			if err := ep.Send(span.rank, span.tag, b); err != nil {
+				return err
+			}
+			res.BytesSent += int64(len(b))
+			res.MsgsSent++
+			sc.om.peerSent(span.rank, len(b))
+		}
 	} else {
 		for _, span := range pl.sendPeers {
 			sc.floats = sc.floats[:0]
@@ -946,6 +1155,41 @@ func (pl *ghostPlan) finishRecvs(ep transport.Endpoint, patches map[geom.Box]*am
 			return fmt.Errorf("engine: rank %d sent %d halo regions, plan expects %d",
 				span.rank, len(sc.rregions), span.hi-span.lo)
 		}
+		if w, n := sc.workers, span.hi-span.lo; w > 1 && n > 1 {
+			// Validate headers and prefix-sum the frame offsets serially
+			// (cheap), then apply regions concurrently: regions of one frame
+			// cover pairwise-disjoint cells (distinct source boxes are
+			// disjoint), so the writes never touch the same cell. Errors are
+			// surfaced in index order.
+			if cap(sc.offsets) < n {
+				sc.offsets = make([]int, n)
+			}
+			offs := sc.offsets[:n]
+			off := 0
+			for i, r := range pl.recvs[span.lo:span.hi] {
+				fr := sc.rregions[i]
+				if err := checkFrameRegion(fr, r.dstIdx, r.srcIdx, r.region); err != nil {
+					return err
+				}
+				offs[i] = off
+				off += int(fr.Count)
+			}
+			if cap(sc.applyErrs) < n {
+				sc.applyErrs = make([]error, n)
+			}
+			errs := sc.applyErrs[:n]
+			parallel.For(w, n, func(i int) {
+				r := &pl.recvs[span.lo+i]
+				cnt := int(sc.rregions[i].Count)
+				errs[i] = apply(patches[r.dst], r.region, sc.rfloats[offs[i]:offs[i]+cnt])
+			})
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		off := 0
 		for i, r := range pl.recvs[span.lo:span.hi] {
 			fr := sc.rregions[i]
@@ -1011,6 +1255,59 @@ func sortMig(ms []migRegion) {
 // twin; both must stay bit-identical per rank.
 func buildMigPlan(old, next *asnView, me int, sc *commScratch) migPlan {
 	var mp migPlan
+	if w := sc.workers; w > 1 && len(next.mine)+len(old.mine) > 1 {
+		// Both indexes are fetched up front (the two-slot cache holds them
+		// together) and only read inside the workers; buckets concatenate in
+		// chunk order and finish()'s canonical sort over unique keys makes
+		// the plan independent of append order regardless.
+		oldIdx := sc.indexes.get(old.Boxes)
+		nextIdx := sc.indexes.get(next.Boxes)
+		type migPart struct{ sends, recvs, retained []migRegion }
+		parts := make([]migPart, w)
+		parallel.For(w, w, func(c int) {
+			var qs geom.QueryScratch
+			var hits []int
+			p := &parts[c]
+			lo, hi := chunkRange(len(next.mine), w, c)
+			for _, i := range next.mine[lo:hi] {
+				nb := next.Boxes[i]
+				hits = oldIdx.QueryWith(&qs, nb, hits)
+				for _, j := range hits {
+					ob := old.Boxes[j]
+					m := migRegion{dstIdx: i, srcIdx: j, dst: nb, src: ob, region: nb.Intersect(ob)}
+					if old.Owners[j] == me {
+						m.peer = me
+						p.retained = append(p.retained, m)
+					} else {
+						m.peer = old.Owners[j]
+						p.recvs = append(p.recvs, m)
+					}
+				}
+			}
+			lo, hi = chunkRange(len(old.mine), w, c)
+			for _, j := range old.mine[lo:hi] {
+				ob := old.Boxes[j]
+				hits = nextIdx.QueryWith(&qs, ob, hits)
+				for _, i := range hits {
+					if next.Owners[i] == me {
+						continue // kept or stitched locally by the first pass
+					}
+					nb := next.Boxes[i]
+					p.sends = append(p.sends, migRegion{
+						dstIdx: i, srcIdx: j, dst: nb, src: ob,
+						region: nb.Intersect(ob), peer: next.Owners[i],
+					})
+				}
+			}
+		})
+		for _, p := range parts {
+			mp.sends = append(mp.sends, p.sends...)
+			mp.recvs = append(mp.recvs, p.recvs...)
+			mp.retained = append(mp.retained, p.retained...)
+		}
+		mp.finish()
+		return mp
+	}
 	oldIdx := sc.indexes.get(old.Boxes)
 	hits := sc.query
 	for _, i := range next.mine {

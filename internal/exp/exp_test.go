@@ -135,184 +135,6 @@ func TestFig11Adapts(t *testing.T) {
 	}
 }
 
-func TestFig7TableIShapes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full Fig7 sweep in short mode")
-	}
-	r, err := Fig7TableI()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(r.Rows) != 4 {
-		t.Fatalf("rows = %d", len(r.Rows))
-	}
-	prevHetero := math.Inf(1)
-	for _, row := range r.Rows {
-		// (a) Hetero wins at every P.
-		if row.HeteroSec >= row.DefaultSec {
-			t.Errorf("P=%d: hetero %.1fs not faster than default %.1fs",
-				row.Nodes, row.HeteroSec, row.DefaultSec)
-		}
-		// Execution time decreases with P (scalability; allow noise-level
-		// wiggle where the load script's heavy tier kicks in at P=16).
-		if row.HeteroSec > prevHetero*1.05 {
-			t.Errorf("P=%d: hetero time %.1fs did not decrease (prev %.1f)",
-				row.Nodes, row.HeteroSec, prevHetero)
-		}
-		prevHetero = row.HeteroSec
-	}
-	// Improvement grows toward ~18% at scale (paper: 7/6/18/18).
-	small := (r.Rows[0].ImprovementPct + r.Rows[1].ImprovementPct) / 2
-	large := (r.Rows[2].ImprovementPct + r.Rows[3].ImprovementPct) / 2
-	if large <= small {
-		t.Errorf("improvement did not grow with P: small %.1f%%, large %.1f%%", small, large)
-	}
-	if large < 12 || large > 30 {
-		t.Errorf("large-P improvement %.1f%% outside the paper's neighbourhood (~18%%)", large)
-	}
-	if small < 2 || small > 15 {
-		t.Errorf("small-P improvement %.1f%% outside the paper's neighbourhood (~7%%)", small)
-	}
-	var sb strings.Builder
-	if err := r.Render(&sb); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(sb.String(), "Table I") {
-		t.Error("render missing Table I")
-	}
-}
-
-func TestTable2Shapes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full Table II sweep in short mode")
-	}
-	r, err := Table2()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(r.Rows) != 4 {
-		t.Fatalf("rows = %d", len(r.Rows))
-	}
-	for _, row := range r.Rows {
-		// (d) Dynamic sensing beats sense-once substantially at every P.
-		gain := (row.StaticSec - row.DynamicSec) / row.StaticSec * 100
-		if gain < 10 {
-			t.Errorf("P=%d: dynamic gain %.1f%% too small (paper: 35-48%%)", row.Nodes, gain)
-		}
-	}
-	// Both policies scale down with P.
-	for i := 1; i < len(r.Rows); i++ {
-		if r.Rows[i].DynamicSec >= r.Rows[i-1].DynamicSec {
-			t.Errorf("dynamic time not decreasing at P=%d", r.Rows[i].Nodes)
-		}
-	}
-	var sb strings.Builder
-	if err := r.Render(&sb); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(sb.String(), "Table II") {
-		t.Error("render missing title")
-	}
-}
-
-func TestTable3Shapes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full Table III sweep in short mode")
-	}
-	r, err := Table3()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(r.Rows) != 4 {
-		t.Fatalf("rows = %d", len(r.Rows))
-	}
-	// (e) The optimum is at an intermediate frequency (paper: 20), i.e.
-	// neither the most frequent nor the rarest sensing wins.
-	best := r.Best()
-	if best == 10 || best == 40 {
-		t.Errorf("optimum at extreme frequency %d; want intermediate (paper: 20)", best)
-	}
-	var sb strings.Builder
-	if err := r.Render(&sb); err != nil {
-		t.Fatal(err)
-	}
-	for _, want := range []string{"Table III", "Figure 12", "Figure 15"} {
-		if !strings.Contains(sb.String(), want) {
-			t.Errorf("render missing %q", want)
-		}
-	}
-}
-
-func TestAblationsRun(t *testing.T) {
-	if testing.Short() {
-		t.Skip("ablations in short mode")
-	}
-	split, err := AblationSplitting()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Splitting matters: the no-splitting greedy baseline must be worst.
-	greedy := split.Rows[len(split.Rows)-1]
-	for _, row := range split.Rows[:len(split.Rows)-1] {
-		if row.ExecSec >= greedy.ExecSec {
-			t.Errorf("splitting variant %q not better than no-splitting", row.Variant)
-		}
-	}
-	gran, err := AblationGranularity()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Finer granularity gives lower imbalance.
-	if gran.Rows[0].MeanImb > gran.Rows[len(gran.Rows)-1].MeanImb {
-		t.Error("imbalance should grow with coarser granularity")
-	}
-	weights, err := AblationWeights()
-	if err != nil {
-		t.Fatal(err)
-	}
-	var sb strings.Builder
-	if err := weights.Render(&sb); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(sb.String(), "equal") {
-		t.Error("weights render missing variants")
-	}
-	sfcAbl, err := AblationSFC()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(sfcAbl.Rows) != 2 {
-		t.Error("SFC ablation incomplete")
-	}
-}
-
-func TestHeterogeneitySweepShapes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("heterogeneity sweep in short mode")
-	}
-	r, err := HeterogeneitySweep()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(r.Rows) != 5 {
-		t.Fatalf("rows: %d", len(r.Rows))
-	}
-	// Homogeneous cluster: both partitioners within noise of each other.
-	if imp := r.Rows[0].ImprovementPct; imp > 5 || imp < -5 {
-		t.Errorf("homogeneous improvement %.1f%% should be ~0", imp)
-	}
-	// The paper's expectation: improvement grows with heterogeneity.
-	for i := 2; i < len(r.Rows); i++ {
-		if r.Rows[i].ImprovementPct <= r.Rows[0].ImprovementPct {
-			t.Errorf("improvement at load %.1f (%.1f%%) not above homogeneous (%.1f%%)",
-				r.Rows[i].LoadTarget, r.Rows[i].ImprovementPct, r.Rows[0].ImprovementPct)
-		}
-	}
-	if last := r.Rows[len(r.Rows)-1].ImprovementPct; last < 15 {
-		t.Errorf("improvement at 80%% load = %.1f%%, expected substantial", last)
-	}
-}
-
 func TestMixedHardwareShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mixed-hardware run in short mode")
@@ -328,70 +150,6 @@ func TestMixedHardwareShapes(t *testing.T) {
 	}
 	if r.Caps[0] <= r.Caps[7] {
 		t.Errorf("fast node capacity %.3f not above slow node %.3f", r.Caps[0], r.Caps[7])
-	}
-}
-
-func TestScalabilityShapes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("scaling sweep in short mode")
-	}
-	r, err := Scalability()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(r.Rows) != 6 || r.Rows[0].Nodes != 1 {
-		t.Fatalf("rows: %+v", r.Rows)
-	}
-	// Speedup is monotone up to 16 and efficiency decays.
-	for i := 1; i < 5; i++ {
-		if r.Rows[i].Speedup <= r.Rows[i-1].Speedup*0.95 {
-			t.Errorf("speedup not growing at P=%d: %.2f after %.2f",
-				r.Rows[i].Nodes, r.Rows[i].Speedup, r.Rows[i-1].Speedup)
-		}
-	}
-	if r.Rows[1].Efficiency < 0.7 {
-		t.Errorf("2-node efficiency %.2f too low", r.Rows[1].Efficiency)
-	}
-	if r.Rows[5].Efficiency > r.Rows[1].Efficiency {
-		t.Error("efficiency should decay with P")
-	}
-	var sb strings.Builder
-	if err := r.Render(&sb); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(sb.String(), "Speedup") {
-		t.Error("render missing speedup column")
-	}
-}
-
-func TestAblationLocalityShapes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("locality ablation in short mode")
-	}
-	r, err := AblationLocality()
-	if err != nil {
-		t.Fatal(err)
-	}
-	byName := map[string]AblationRow{}
-	for _, row := range r.Rows {
-		byName[row.Variant] = row
-	}
-	hetero := byName["ACEHeterogeneous"]
-	sfcH := byName["SFCHetero"]
-	comp := byName["ACEComposite"]
-	// The SFC-ordered capacity-aware scheme keeps hetero's balance...
-	if sfcH.MeanImb > hetero.MeanImb+5 {
-		t.Errorf("SFCHetero imbalance %.1f%% much worse than hetero %.1f%%",
-			sfcH.MeanImb, hetero.MeanImb)
-	}
-	// ...while moving less data between repartitions.
-	if sfcH.MovedMB >= hetero.MovedMB {
-		t.Errorf("SFCHetero moved %.0f MB, not less than hetero's %.0f MB",
-			sfcH.MovedMB, hetero.MovedMB)
-	}
-	// The capacity-oblivious composite has much worse balance than either.
-	if comp.MeanImb < 2*sfcH.MeanImb {
-		t.Errorf("composite imbalance %.1f%% suspiciously low", comp.MeanImb)
 	}
 }
 
@@ -417,28 +175,5 @@ func TestAblationMemoryWeightsShapes(t *testing.T) {
 	}
 	if (cb-mb)/cb < 0.15 {
 		t.Errorf("memory-aware gain only %.1f%%", (cb-mb)/cb*100)
-	}
-}
-
-func TestAblationForecasterPrefersCurrentState(t *testing.T) {
-	if testing.Short() {
-		t.Skip("forecaster ablation in short mode")
-	}
-	r, err := AblationForecaster()
-	if err != nil {
-		t.Fatal(err)
-	}
-	byName := map[string]float64{}
-	for _, row := range r.Rows {
-		byName[row.Variant] = row.ExecSec
-	}
-	// Under abrupt load switches, current-state (last) must beat the
-	// heavy smoothers, and the adaptive ensemble should stay close to the
-	// best member.
-	if byName["last"] >= byName["mean"] {
-		t.Errorf("last (%.1f) not better than mean (%.1f)", byName["last"], byName["mean"])
-	}
-	if byName["adaptive"] > byName["last"]*1.1 {
-		t.Errorf("adaptive (%.1f) far from best member (%.1f)", byName["adaptive"], byName["last"])
 	}
 }

@@ -159,6 +159,168 @@ func WeakScaling(maxRanks, groupSize int) (*WeakScalingResult, error) {
 	return res, nil
 }
 
+// Stage2Row is one rank count of the stage-2 decentralization sweep.
+type Stage2Row struct {
+	Ranks  int
+	Groups int
+	Boxes  int
+	// Stage1MS is the replicated stage-1 wall time (grouping + curve cut) —
+	// paid identically by both modes, reported for context.
+	Stage1MS float64
+	// ReplicatedUS is the per-rank wall time when stage 2 is replicated:
+	// slice every group's segment and assemble the global assignment.
+	ReplicatedUS float64
+	// GroupLocalUS is the decentralized per-rank cost: slice only the
+	// rank's own group.
+	GroupLocalUS float64
+	// Speedup is ReplicatedUS over GroupLocalUS.
+	Speedup float64
+	// OracleOK reports that assembling the per-group slices reproduced the
+	// one-shot replicated Partition bit-for-bit.
+	OracleOK bool
+}
+
+// Stage2Result is a weak-scaling study of the hierarchical partitioner's
+// stage 2: how much per-rank decision cost disappears when each rank slices
+// only its own group's curve segment (the group-parallel control plane)
+// instead of replicating every group's slicing. Stage 1 stays replicated in
+// both modes and is timed separately.
+type Stage2Result struct {
+	BoxesPerRank int
+	GroupSize    int
+	Rows         []Stage2Row
+}
+
+// WeakScalingStage2 runs the stage-2 sweep over the rank ladder
+// 16..maxRanks with the same tiling and capacity script as WeakScaling.
+func WeakScalingStage2(maxRanks, groupSize int) (*Stage2Result, error) {
+	if maxRanks < 16 {
+		maxRanks = 16
+	}
+	if groupSize < 1 {
+		groupSize = 64
+	}
+	res := &Stage2Result{BoxesPerRank: weakBoxesPerRank, GroupSize: groupSize}
+	for _, ranks := range []int{16, 64, 256, 1024, 4096} {
+		if ranks > maxRanks {
+			break
+		}
+		tiles := weakTiles(ranks)
+		capsA, _ := weakCaps(ranks, groupSize)
+		h := partition.NewHierarchical(2)
+		h.GroupSize = groupSize
+		t0 := time.Now()
+		plan, err := h.PlanGroups(tiles, capsA, partition.CellWork)
+		if err != nil {
+			return nil, fmt.Errorf("exp: stage2 sweep %d ranks: %w", ranks, err)
+		}
+		stage1 := time.Since(t0)
+		groups := plan.NumGroups()
+		// Repeat the timed slicing enough times that the small rungs are
+		// measurable; both modes use the same repeat count.
+		reps := 1
+		if ranks < 4096 {
+			reps = 4096 / ranks
+		}
+		var assembled *partition.Assignment
+		t0 = time.Now()
+		for r := 0; r < reps; r++ {
+			segs := make([]partition.GroupSegment, groups)
+			for g := 0; g < groups; g++ {
+				bx, ow := plan.PartitionGroup(g)
+				segs[g] = partition.GroupSegment{Boxes: bx, Owners: ow}
+			}
+			if assembled, err = plan.Assemble(segs); err != nil {
+				return nil, fmt.Errorf("exp: stage2 sweep %d ranks: %w", ranks, err)
+			}
+		}
+		replicated := time.Since(t0)
+		mid := plan.GroupOf(ranks / 2)
+		t0 = time.Now()
+		for r := 0; r < reps; r++ {
+			if bx, _ := plan.PartitionGroup(mid); len(bx) == 0 {
+				return nil, fmt.Errorf("exp: stage2 sweep %d ranks: empty group %d", ranks, mid)
+			}
+		}
+		local := time.Since(t0)
+		oracle, err := h.Partition(tiles, capsA, partition.CellWork)
+		if err != nil {
+			return nil, err
+		}
+		row := Stage2Row{
+			Ranks:        ranks,
+			Groups:       groups,
+			Boxes:        len(assembled.Boxes),
+			Stage1MS:     stage1.Seconds() * 1e3,
+			ReplicatedUS: replicated.Seconds() * 1e6 / float64(reps),
+			GroupLocalUS: local.Seconds() * 1e6 / float64(reps),
+			OracleOK:     assignmentsIdentical(assembled, oracle),
+		}
+		if row.GroupLocalUS > 0 {
+			row.Speedup = row.ReplicatedUS / row.GroupLocalUS
+		}
+		obsRT.Event("weak_scaling_stage2_speedup", -1, ranks, row.Speedup)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// assignmentsIdentical is a bitwise comparison: same boxes, owners, and
+// float-exact work/ideal vectors.
+func assignmentsIdentical(a, b *partition.Assignment) bool {
+	if !a.Boxes.Equal(b.Boxes) || len(a.Owners) != len(b.Owners) {
+		return false
+	}
+	for i := range a.Owners {
+		if a.Owners[i] != b.Owners[i] {
+			return false
+		}
+	}
+	if len(a.Work) != len(b.Work) || len(a.Ideal) != len(b.Ideal) {
+		return false
+	}
+	for i := range a.Work {
+		if a.Work[i] != b.Work[i] || a.Ideal[i] != b.Ideal[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the stage-2 sweep table.
+func (r *Stage2Result) Render(w io.Writer) error {
+	tab := trace.NewTable(
+		fmt.Sprintf("Stage-2 slicing: replicated vs group-local (%d boxes/rank, groups of %d)",
+			r.BoxesPerRank, r.GroupSize),
+		"Ranks", "Groups", "Boxes", "Stage1 (ms)", "Replicated (µs)",
+		"Group-local (µs)", "Speedup (×)", "Oracle")
+	for _, row := range r.Rows {
+		oracle := "OK"
+		if !row.OracleOK {
+			oracle = "MISMATCH"
+		}
+		tab.AddF(row.Ranks, row.Groups, row.Boxes, row.Stage1MS,
+			row.ReplicatedUS, row.GroupLocalUS, row.Speedup, oracle)
+	}
+	return tab.Render(w)
+}
+
+// WriteCSV emits the stage-2 sweep for artifact upload and plotting.
+func (r *Stage2Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"ranks,groups,boxes,stage1_ms,replicated_us,grouplocal_us,speedup,oracle_ok"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.4f,%.4f,%.4f,%.2f,%t\n",
+			row.Ranks, row.Groups, row.Boxes, row.Stage1MS,
+			row.ReplicatedUS, row.GroupLocalUS, row.Speedup, row.OracleOK); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Render writes the weak-scaling table.
 func (r *WeakScalingResult) Render(w io.Writer) error {
 	tab := trace.NewTable(

@@ -45,3 +45,43 @@ func TestWeakScalingOracleAndDelta(t *testing.T) {
 		t.Error("rendered table missing oracle status")
 	}
 }
+
+// TestWeakScalingStage2Oracle runs the stage-2 decentralization sweep to
+// 256 virtual ranks (the 4096 ladder runs nightly) and checks that the
+// assembled group slices reproduce the replicated partition bit-for-bit
+// and that group-local slicing gets relatively cheaper as groups multiply.
+func TestWeakScalingStage2Oracle(t *testing.T) {
+	res, err := WeakScalingStage2(256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (16, 64, 256)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.OracleOK {
+			t.Errorf("%d ranks: assembled slices diverged from the replicated oracle", row.Ranks)
+		}
+		if row.Groups != (row.Ranks+res.GroupSize-1)/res.GroupSize {
+			t.Errorf("%d ranks: %d groups with group size %d", row.Ranks, row.Groups, res.GroupSize)
+		}
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.Speedup < 4 {
+		t.Errorf("256-rank stage-2 speedup %.1fx below the 4x floor the CI bench gates", last.Speedup)
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != 4 {
+		t.Errorf("CSV has %d lines, want header + 3 rows", lines)
+	}
+	var tab strings.Builder
+	if err := res.Render(&tab); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "Group-local") {
+		t.Error("rendered table missing group-local column")
+	}
+}

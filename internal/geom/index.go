@@ -11,11 +11,21 @@ import (
 // boxes are binned into a grid of roughly n^(1/rank) buckets per axis, so a
 // query only visits the buckets its probe overlaps.
 //
-// The index is read-only after construction, but queries share dedup
-// scratch, so an Index is NOT safe for concurrent use.
+// The index is read-only after construction, but Query shares the built-in
+// dedup scratch, so plain Query calls are NOT safe for concurrent use.
+// Concurrent readers use QueryWith, each holding its own QueryScratch: the
+// grids themselves are never written after NewIndex returns.
 type Index struct {
 	boxes BoxList
 	grids []levelGrid
+	s     QueryScratch
+}
+
+// QueryScratch holds the per-query dedup stamps (one per indexed box). The
+// zero value is ready to use; one scratch must not be shared between
+// concurrent QueryWith calls, but any number of goroutines may query one
+// Index concurrently with distinct scratches.
+type QueryScratch struct {
 	seen  []int // per-box stamp of the query that last visited it
 	epoch int
 }
@@ -34,7 +44,7 @@ type levelGrid struct {
 // NewIndex builds the index over boxes. Empty boxes are skipped — they can
 // never intersect anything. The caller must not mutate boxes afterwards.
 func NewIndex(boxes BoxList) *Index {
-	ix := &Index{boxes: boxes, seen: make([]int, len(boxes))}
+	ix := &Index{boxes: boxes}
 	byLevel := map[int][]int{}
 	var levels []int
 	for i, b := range boxes {
@@ -129,11 +139,23 @@ func (g *levelGrid) eachBucket(b Box, fn func(int)) {
 // levels filter the result. Pass the previous call's slice as out to avoid
 // allocation.
 func (ix *Index) Query(probe Box, out []int) []int {
+	return ix.QueryWith(&ix.s, probe, out)
+}
+
+// QueryWith is Query with caller-owned dedup scratch, the concurrency-safe
+// form: the index itself is read-only, so any number of goroutines may call
+// QueryWith on one Index as long as each holds its own QueryScratch. Results
+// are identical to Query for the same probe.
+func (ix *Index) QueryWith(s *QueryScratch, probe Box, out []int) []int {
 	out = out[:0]
 	if probe.Empty() {
 		return out
 	}
-	ix.epoch++
+	if len(s.seen) < len(ix.boxes) {
+		s.seen = make([]int, len(ix.boxes))
+		s.epoch = 0
+	}
+	s.epoch++
 	for gi := range ix.grids {
 		g := &ix.grids[gi]
 		lo, hi, ok := g.bucketRange(probe)
@@ -147,10 +169,10 @@ func (ix *Index) Query(probe Box, out []int) []int {
 					bk := base + x
 					for _, it := range g.items[g.start[bk]:g.start[bk+1]] {
 						i := int(it)
-						if ix.seen[i] == ix.epoch {
+						if s.seen[i] == s.epoch {
 							continue
 						}
-						ix.seen[i] = ix.epoch
+						s.seen[i] = s.epoch
 						if probe.Intersects(ix.boxes[i]) {
 							out = append(out, i)
 						}

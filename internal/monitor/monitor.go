@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"samrpart/internal/capacity"
 	"samrpart/internal/cluster"
+	"samrpart/internal/parallel"
 )
 
 // Prober supplies ground-truth resource measurements for each node; the
@@ -80,6 +82,27 @@ type Monitor struct {
 	health  []nodeHealth
 	stats   SenseStats
 	ob      monObs
+
+	// workers is the probe fan-out width (SetWorkers); <= 1 keeps the
+	// serial sweep. probeMeas/probeErrs/probeDurs are the pooled per-node
+	// slots the concurrent probe phase writes, so steady-state sweeps
+	// allocate nothing extra.
+	workers   int
+	probeMeas []capacity.Measurement
+	probeErrs []error
+	probeDurs []time.Duration
+}
+
+// SetWorkers bounds Sense's probe fan-out: with n > 1 probes run
+// concurrently across up to n workers and their results are merged in node
+// order, so stats, hygiene decisions, health transitions and forecasts are
+// bit-identical to the serial sweep — only wall-clock changes. The prober
+// must tolerate concurrent Probe calls (ClusterProber and FaultyProber do);
+// 0 or 1, the default, keeps the fully serial sweep for probers that don't.
+func (m *Monitor) SetWorkers(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workers = n
 }
 
 // New builds a monitor over the prober, with one forecaster of the given
@@ -138,69 +161,43 @@ func (m *Monitor) Sense(now float64) []capacity.Measurement {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]capacity.Measurement, len(m.nodes))
-	for k := range m.nodes {
-		prevStats := m.stats
-		healthBefore := healthOf(m.health[k].misses, m.hygiene)
-		probeT0 := m.probeStart()
-		truth, err := m.probeOne(k)
-		m.probeDone(probeT0)
-		m.stats.Probes++
-		if err != nil {
-			switch {
-			case errors.Is(err, errProbePanic):
-				m.stats.Panics++
-			case errors.Is(err, ErrProbeTimeout):
-				m.stats.Timeouts++
-			default:
-				m.stats.Drops++
+	if w, n := m.workers, len(m.nodes); w > 1 && n > 1 {
+		// Concurrent probe phase into pooled per-node slots, then a serial
+		// merge in node order. probeOne contains its own panic recovery, so
+		// a panicking prober fails only its slot; the merge replays exactly
+		// the serial pipeline, so everything downstream of the probes is
+		// bit-identical at any width. Probe latency histograms are observed
+		// in the merge to keep the registry single-writer under m.mu.
+		if cap(m.probeMeas) < n {
+			m.probeMeas = make([]capacity.Measurement, n)
+			m.probeErrs = make([]error, n)
+			m.probeDurs = make([]time.Duration, n)
+		}
+		meas, errs, durs := m.probeMeas[:n], m.probeErrs[:n], m.probeDurs[:n]
+		timed := m.ob.enabled
+		parallel.For(w, n, func(k int) {
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
 			}
-		}
-		h := &m.health[k]
-		if !m.hygiene.Enabled {
-			// Raw path: a failed probe reads as zero. Health is still
-			// tracked so a broken sensor is reportable either way.
-			if err != nil {
-				truth = capacity.Measurement{}
-				h.misses++
-			} else {
-				h.misses = 0
+			meas[k], errs[k] = m.probeOne(k)
+			if timed {
+				durs[k] = time.Since(t0)
 			}
-			m.update(k, now, truth)
-			out[k] = m.forecastOf(k)
-			m.syncObs(k, healthBefore, prevStats)
-			continue
-		}
-		reject := err != nil
-		if !reject && !m.hygiene.sane(truth) {
-			m.stats.Garbage++
-			reject = true
-		}
-		if !reject && (madOutlier(h.win[0], truth.CPUAvail, m.hygiene.MADK) ||
-			madOutlier(h.win[1], truth.FreeMemoryMB, m.hygiene.MADK) ||
-			madOutlier(h.win[2], truth.BandwidthMBps, m.hygiene.MADK)) {
-			m.stats.Outliers++
-			reject = true
-		}
-		if reject {
-			h.misses++
-			fc := m.forecastOf(k)
-			if h.misses <= m.hygiene.StalenessBudget {
-				m.stats.StaleFallbacks++
-				out[k] = fc
-			} else {
-				m.stats.Decays++
-				out[k] = m.hygiene.decayed(fc, h.misses-m.hygiene.StalenessBudget)
+		})
+		for k := range m.nodes {
+			if timed {
+				m.ob.probeSeconds.Observe(durs[k].Seconds())
 			}
-			m.syncObs(k, healthBefore, prevStats)
-			continue
+			m.absorb(k, now, meas[k], errs[k], out)
 		}
-		h.misses = 0
-		h.win[0] = push(h.win[0], truth.CPUAvail, m.hygiene.MADWindow)
-		h.win[1] = push(h.win[1], truth.FreeMemoryMB, m.hygiene.MADWindow)
-		h.win[2] = push(h.win[2], truth.BandwidthMBps, m.hygiene.MADWindow)
-		m.update(k, now, truth)
-		out[k] = m.forecastOf(k)
-		m.syncObs(k, healthBefore, prevStats)
+	} else {
+		for k := range m.nodes {
+			probeT0 := m.probeStart()
+			truth, err := m.probeOne(k)
+			m.probeDone(probeT0)
+			m.absorb(k, now, truth, err, out)
+		}
 	}
 	m.senses++
 	m.last = out
@@ -208,6 +205,73 @@ func (m *Monitor) Sense(now float64) []capacity.Measurement {
 		m.history.Record(now, out)
 	}
 	return out
+}
+
+// absorb runs the post-probe pipeline for node k — stats accounting, the
+// hygiene gauntlet, health bookkeeping, forecaster updates and metric sync —
+// writing the node's answer into out[k]. Callers hold m.mu and call it in
+// ascending node order; it is the shared tail of the serial and concurrent
+// sweeps, which is what makes them bit-identical.
+func (m *Monitor) absorb(k int, now float64, truth capacity.Measurement, err error, out []capacity.Measurement) {
+	prevStats := m.stats
+	healthBefore := healthOf(m.health[k].misses, m.hygiene)
+	m.stats.Probes++
+	if err != nil {
+		switch {
+		case errors.Is(err, errProbePanic):
+			m.stats.Panics++
+		case errors.Is(err, ErrProbeTimeout):
+			m.stats.Timeouts++
+		default:
+			m.stats.Drops++
+		}
+	}
+	h := &m.health[k]
+	if !m.hygiene.Enabled {
+		// Raw path: a failed probe reads as zero. Health is still
+		// tracked so a broken sensor is reportable either way.
+		if err != nil {
+			truth = capacity.Measurement{}
+			h.misses++
+		} else {
+			h.misses = 0
+		}
+		m.update(k, now, truth)
+		out[k] = m.forecastOf(k)
+		m.syncObs(k, healthBefore, prevStats)
+		return
+	}
+	reject := err != nil
+	if !reject && !m.hygiene.sane(truth) {
+		m.stats.Garbage++
+		reject = true
+	}
+	if !reject && (madOutlier(h.win[0], truth.CPUAvail, m.hygiene.MADK) ||
+		madOutlier(h.win[1], truth.FreeMemoryMB, m.hygiene.MADK) ||
+		madOutlier(h.win[2], truth.BandwidthMBps, m.hygiene.MADK)) {
+		m.stats.Outliers++
+		reject = true
+	}
+	if reject {
+		h.misses++
+		fc := m.forecastOf(k)
+		if h.misses <= m.hygiene.StalenessBudget {
+			m.stats.StaleFallbacks++
+			out[k] = fc
+		} else {
+			m.stats.Decays++
+			out[k] = m.hygiene.decayed(fc, h.misses-m.hygiene.StalenessBudget)
+		}
+		m.syncObs(k, healthBefore, prevStats)
+		return
+	}
+	h.misses = 0
+	h.win[0] = push(h.win[0], truth.CPUAvail, m.hygiene.MADWindow)
+	h.win[1] = push(h.win[1], truth.FreeMemoryMB, m.hygiene.MADWindow)
+	h.win[2] = push(h.win[2], truth.BandwidthMBps, m.hygiene.MADWindow)
+	m.update(k, now, truth)
+	out[k] = m.forecastOf(k)
+	m.syncObs(k, healthBefore, prevStats)
 }
 
 // update feeds one accepted reading into node k's forecasters.

@@ -60,6 +60,7 @@ type GroupPlan struct {
 	caps   []float64
 	work   WorkFunc
 	cons   Constraints
+	total  float64     // Σ work over the input boxes, in input order
 	stage1 *Assignment // Owners[i] indexes Members, not nodes
 }
 
@@ -100,6 +101,7 @@ func (h *Hierarchical) PlanGroups(boxes geom.BoxList, caps []float64, work WorkF
 	for _, b := range boxes {
 		total += work(b)
 	}
+	p.total = total
 	if len(boxes) == 0 {
 		p.stage1 = &Assignment{Work: make([]float64, p.NumGroups()), Ideal: make([]float64, p.NumGroups())}
 		return p, nil
@@ -160,30 +162,68 @@ func (p *GroupPlan) PartitionGroup(g int) (geom.BoxList, []int) {
 	return sub.Boxes, owners
 }
 
-// Partition implements Partitioner by composing both stages.
+// GroupOf returns the index of the group containing global node id k, or -1
+// when k is out of range. Groups are contiguous equal-size chunks of the node
+// index space (the last possibly smaller), so the lookup is a division.
+func (p *GroupPlan) GroupOf(k int) int {
+	if k < 0 || k >= len(p.caps) || len(p.Members) == 0 {
+		return -1
+	}
+	return k / len(p.Members[0])
+}
+
+// GroupSegment is one group's stage-2 product — the sliced curve segment
+// with global owner ids — in a wire-friendly form: this is what a group
+// leader ships to the assembling rank when stage 2 runs group-locally.
+// Segments must travel as produced: fillQuotas may split boxes, so the box
+// list is part of the decision, not derivable from the stage-1 segment.
+type GroupSegment struct {
+	Boxes  geom.BoxList
+	Owners []int
+}
+
+// Assemble composes per-group stage-2 segments into the full assignment,
+// bit-identically to Partition: segments are appended in ascending group
+// order and per-node work accumulates in that same order, so an assignment
+// assembled from locally- and remotely-computed segments is indistinguishable
+// from one computed in a single pass. segs[g] must be group g's
+// PartitionGroup output (verbatim, order included).
+func (p *GroupPlan) Assemble(segs []GroupSegment) (*Assignment, error) {
+	if len(segs) != p.NumGroups() {
+		return nil, fmt.Errorf("partition: assembling %d segments for %d groups", len(segs), p.NumGroups())
+	}
+	out := &Assignment{
+		Work:  make([]float64, len(p.caps)),
+		Ideal: capacity.Shares(p.caps, p.total),
+	}
+	for _, seg := range segs {
+		for i, b := range seg.Boxes {
+			o := seg.Owners[i]
+			if o < 0 || o >= len(p.caps) {
+				return nil, fmt.Errorf("partition: segment owner %d out of range", o)
+			}
+			out.Boxes = append(out.Boxes, b)
+			out.Owners = append(out.Owners, o)
+			out.Work[o] += p.work(b)
+		}
+	}
+	return out, nil
+}
+
+// Partition implements Partitioner by composing both stages: every group is
+// sliced locally and the segments are assembled in group order. This is the
+// replicated form the SPMD runner retains as its differential oracle; the
+// group-local form computes only one group's slice per rank and learns the
+// rest over the wire, feeding the identical Assemble.
 func (h *Hierarchical) Partition(boxes geom.BoxList, caps []float64, work WorkFunc) (*Assignment, error) {
 	p, err := h.PlanGroups(boxes, caps, work)
 	if err != nil {
 		return nil, err
 	}
-	total := 0.0
-	for _, b := range boxes {
-		total += work(b)
-	}
-	out := &Assignment{
-		Work:  make([]float64, len(caps)),
-		Ideal: capacity.Shares(caps, total),
-	}
-	if len(boxes) == 0 {
-		return out, nil
-	}
-	for g := 0; g < p.NumGroups(); g++ {
+	segs := make([]GroupSegment, p.NumGroups())
+	for g := range segs {
 		gb, owners := p.PartitionGroup(g)
-		for i, b := range gb {
-			out.Boxes = append(out.Boxes, b)
-			out.Owners = append(out.Owners, owners[i])
-			out.Work[owners[i]] += work(b)
-		}
+		segs[g] = GroupSegment{Boxes: gb, Owners: owners}
 	}
-	return out, nil
+	return p.Assemble(segs)
 }

@@ -78,6 +78,10 @@ func main() {
 		events = flag.String("events", "",
 			"write the observability span log (JSONL) to this file; render it with cmd/obsreport")
 		obsSeed = flag.Int64("obs-seed", 0, "seed for the run ID in metrics and event logs (0 = wall clock)")
+		spmd    = flag.Int("spmd", 0,
+			"run an in-process N-rank SPMD group (channel transport, FT on) instead of the virtual-cluster engine; honors -kernel, -iters, -fault-spec, -straggler-shed, -trace")
+		traceOut = flag.String("trace", "",
+			"with -spmd, write the distributed trace log (JSONL) to this file; analyze it with cmd/tracepath")
 	)
 	flag.Parse()
 
@@ -97,6 +101,24 @@ func main() {
 	if *stragShed {
 		straggler = monitor.DefaultStragglerPolicy()
 	}
+	if *spmd > 0 {
+		if err := runSPMD(*spmd, spmdOpts{
+			kernel:    *kernel,
+			iters:     *iters,
+			tracePath: *traceOut,
+			faults:    faults,
+			straggler: straggler,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "amrun:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "amrun: -trace requires -spmd (distributed tracing instruments the SPMD runtime)")
+		os.Exit(2)
+	}
+
 	var sensorFaults *monitor.ProbeFaultSpec
 	if *sensorStr != "" {
 		var err error

@@ -45,6 +45,7 @@ type options struct {
 	faultExp  *bool
 	faultStr  *string
 	elastic   *bool
+	traceOver *bool
 	sensorExp *bool
 	movement  *bool
 	sensorStr *string
@@ -80,6 +81,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 	o.faultExp = fs.Bool("fault", false, "fault study: node crash on the virtual cluster + SPMD rank recovery")
 	o.faultStr = fs.String("fault-spec", "crash:rank=2,iter=10", "crash injected by -fault, e.g. crash:rank=2,iter=10")
 	o.elastic = fs.Bool("elastic", false, "elastic-membership study: fail-stop vs rejoin vs rejoin+shed under seeded churn, plus checkpoint-corruption survival")
+	o.traceOver = fs.Bool("trace-overhead", false, "tracing-overhead study: traced vs untraced SPMD runs across the solver suite (wall-clock, bytes on wire, log volume, bit-exactness)")
 	o.sensorExp = fs.Bool("sensorfault", false, "degraded-sensing study: static vs naive vs hygienic adaptive under sensor faults")
 	o.movement = fs.Bool("movement", false, "migration-cost study: repartitioning with and without the owner-affinity remap")
 	o.sensorStr = fs.String("sensor-fault-spec", "",
@@ -105,8 +107,8 @@ func main() {
 	o := registerFlags(flag.CommandLine)
 	flag.Parse()
 	if !(*o.all || *o.fig7 || *o.fig8 || *o.fig11 || *o.table2 || *o.table3 ||
-		*o.ablations || *o.scaling || *o.faultExp || *o.elastic || *o.sensorExp ||
-		*o.movement || *o.weakScaling || *o.stage2) {
+		*o.ablations || *o.scaling || *o.faultExp || *o.elastic || *o.traceOver ||
+		*o.sensorExp || *o.movement || *o.weakScaling || *o.stage2) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -210,6 +212,7 @@ func main() {
 			return exp.FaultRecovery(16, crashes[0].Rank, crashes[0].Iter)
 		}},
 		{*o.all || *o.elastic, "Elastic membership", func() (renderable, error) { return exp.Elastic(16) }},
+		{*o.all || *o.traceOver, "Tracing overhead", func() (renderable, error) { return exp.TraceOverhead(32) }},
 		{*o.all || *o.sensorExp, "Degraded sensing", func() (renderable, error) { return exp.SensorFaults(40, sensorSpec, *o.repartThresh) }},
 		{*o.all || *o.movement, "Migration cost", func() (renderable, error) { return exp.Movement(16) }},
 		{*o.all || *o.weakScaling, "Weak scaling (plan construction)", func() (renderable, error) {

@@ -15,7 +15,7 @@ func TestAllFlagsRegistered(t *testing.T) {
 	o := registerFlags(fs)
 	for _, name := range []string{
 		"all", "scaling", "fig7", "fig8", "fig11", "table2", "table3",
-		"ablations", "fault", "fault-spec", "elastic", "sensorfault", "movement",
+		"ablations", "fault", "fault-spec", "elastic", "trace-overhead", "sensorfault", "movement",
 		"sensor-fault-spec", "repartition-threshold", "workers",
 		"cpuprofile", "memprofile", "obs-addr", "events", "obs-seed",
 		"weak-scaling", "weak-ranks", "group-size", "csv",

@@ -157,9 +157,12 @@ func (r *report) rankTable() *trace.Table {
 }
 
 func run(in io.Reader, out io.Writer, csv string) error {
-	evs, err := obs.ReadEvents(in)
+	evs, skipped, err := obs.ReadEventsLenient(in)
 	if err != nil {
 		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "obsreport: skipped %d malformed line(s) (truncated log?)\n", skipped)
 	}
 	r := build(evs)
 	if csv != "" {

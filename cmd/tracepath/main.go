@@ -1,0 +1,180 @@
+// Command tracepath analyzes a distributed trace log (JSONL, written by the
+// SPMD runtime with tracing on) into per-iteration critical paths: for every
+// (epoch, iteration) it prints the chain of (rank, phase, blocking peer)
+// hops that bounded wall-clock, the top causes with their share of the
+// iteration, clock-offset/RTT estimates per rank, and the cross-run
+// straggler attribution ranking — cross-checked against the straggler
+// detector's own shed verdicts recorded in the log.
+//
+//	go run ./cmd/amrun -spmd 4 -trace run.trace ... && go run ./cmd/tracepath run.trace
+//	go run ./cmd/tracepath -top 3 -chrome run.json run.trace   # Perfetto export
+//	go run ./cmd/tracepath -csv causes run.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	otrace "samrpart/internal/obs/trace"
+	"samrpart/internal/trace"
+)
+
+// peerCell renders a blocking-peer column (wait hops name a peer, own work
+// does not).
+func peerCell(p int) string {
+	if p < 0 {
+		return "-"
+	}
+	return fmt.Sprint(p)
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+func ms(ns int64) string { return fmt.Sprintf("%.3f", float64(ns)/1e6) }
+
+// causeTable builds the per-iteration critical-path table: one row per
+// (epoch, iter) with its wall-clock, coverage, and top causes.
+func causeTable(tl *otrace.Timeline, top int) *trace.Table {
+	t := trace.NewTable("per-iteration critical path",
+		"epoch", "iter", "wall ms", "covered", "top causes (rank:phase[<-peer] share)")
+	for _, w := range tl.Iters {
+		covered := 1.0
+		if w.Wall > 0 {
+			covered = float64(w.Covered) / float64(w.Wall)
+		}
+		causes := ""
+		for i, c := range w.Causes {
+			if i >= top {
+				break
+			}
+			if i > 0 {
+				causes += "  "
+			}
+			causes += fmt.Sprintf("%d:%s", c.Rank, c.Phase)
+			if c.Peer >= 0 {
+				causes += fmt.Sprintf("<-%d", c.Peer)
+			}
+			causes += " " + pct(c.Frac)
+		}
+		t.Add(fmt.Sprint(w.Epoch), fmt.Sprint(w.Iter), ms(w.Wall), pct(covered), causes)
+	}
+	return t
+}
+
+// offsetTable lists the stitched per-rank clock model.
+func offsetTable(tl *otrace.Timeline) *trace.Table {
+	t := trace.NewTable("clock alignment (vs reference rank)", "rank", "offset ms", "hb rtt ms")
+	for _, r := range tl.Ranks {
+		rtt := "-"
+		if v, ok := tl.RTTs[r]; ok {
+			rtt = ms(v)
+		}
+		t.Add(fmt.Sprint(r), ms(tl.Offsets[r]), rtt)
+	}
+	return t
+}
+
+// shareTable is the straggler attribution ranking: critical-path time
+// charged to each rank (wait hops blame the blocking peer), annotated with
+// the straggler detector's own verdicts about that rank from the same log.
+func shareTable(tl *otrace.Timeline) *trace.Table {
+	verdicts := map[int]string{}
+	for _, v := range tl.Verdicts {
+		s := fmt.Sprintf("%s@(%d,%d)", v.State, v.Epoch, v.Iter)
+		if prev := verdicts[v.Target]; prev != "" {
+			s = prev + " " + s
+		}
+		verdicts[v.Target] = s
+	}
+	t := trace.NewTable("straggler attribution (critical-path time charged per rank)",
+		"rank", "ms", "share", "detector verdicts")
+	for _, s := range tl.Shares {
+		vd := verdicts[s.Rank]
+		if vd == "" {
+			vd = "-"
+		}
+		t.Add(fmt.Sprint(s.Rank), ms(s.NS), pct(s.Frac), vd)
+	}
+	return t
+}
+
+func run(in io.Reader, out io.Writer, top int, chromePath, csv string) error {
+	recs, skipped, err := otrace.ReadRecords(in)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no trace records in input (%d malformed lines)", skipped)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "tracepath: skipped %d malformed line(s) (truncated log?)\n", skipped)
+	}
+	tl := otrace.Stitch(recs, skipped)
+
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		if err := otrace.WriteChrome(f, recs, tl); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tracepath: wrote Chrome trace JSON to %s (open in Perfetto)\n", chromePath)
+	}
+
+	if csv != "" {
+		switch csv {
+		case "causes":
+			return causeTable(tl, top).CSV(out)
+		case "shares":
+			return shareTable(tl).CSV(out)
+		case "offsets":
+			return offsetTable(tl).CSV(out)
+		default:
+			return fmt.Errorf("unknown -csv table %q (want causes, shares or offsets)", csv)
+		}
+	}
+
+	fmt.Fprintf(out, "%d records, %d ranks, %d iteration windows\n",
+		len(recs), len(tl.Ranks), len(tl.Iters))
+	if err := causeTable(tl, top).Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	if err := shareTable(tl).Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return offsetTable(tl).Render(out)
+}
+
+func main() {
+	top := flag.Int("top", 3, "causes shown per iteration row")
+	chrome := flag.String("chrome", "", "also write Chrome trace-event JSON (Perfetto-viewable) to this path")
+	csv := flag.String("csv", "", "emit one table as CSV instead of text: causes | shares | offsets")
+	flag.Parse()
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "tracepath: at most one trace-log path (or stdin)")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracepath:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, os.Stdout, *top, *chrome, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "tracepath:", err)
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"samrpart/internal/geom"
 	"samrpart/internal/monitor"
 	"samrpart/internal/obs"
+	"samrpart/internal/obs/trace"
 	"samrpart/internal/partition"
 	"samrpart/internal/transport"
 )
@@ -226,6 +227,7 @@ func newSPMDRun(ep transport.TimedEndpoint, cfg SPMDConfig, res *SPMDResult) *sp
 		faultFired:  make([]bool, len(cfg.Faults)),
 	}
 	r.sc.om = newSPMDObs(cfg.Obs, ep.Rank())
+	r.sc.tr = cfg.Trace.Recorder(ep.Rank())
 	r.sc.workers = cfg.Workers
 	for i := range r.alive {
 		r.alive[i] = true
@@ -769,6 +771,7 @@ func (r *spmdRun) joinList() []int {
 // the identical gossiped timing vector, and the pending joins are admitted.
 func (r *spmdRun) heartbeat(iter int) (newDead, joins []int, err error) {
 	me := r.me()
+	r.sc.tr.SetPos(r.epoch, iter)
 	r.pollAnnounces()
 	suspects := map[int]bool{}
 	ckpts := []int{r.durableCkpt()}
@@ -776,11 +779,22 @@ func (r *spmdRun) heartbeat(iter int) (newDead, joins []int, err error) {
 	perCell[me] = float64(r.stepPS)
 
 	send := func(round int, dead []int) error {
-		payload := encodeHb(hbMsg{Ckpt: r.durableCkpt(), StepPS: r.stepPS, Dead: dead, Join: r.joinList()})
+		m := hbMsg{Ckpt: r.durableCkpt(), StepPS: r.stepPS, Dead: dead, Join: r.joinList()}
+		payload := encodeHb(m)
 		tag := fmt.Sprintf("%shb%d-%d", r.prefix(), round, iter)
 		for p := range r.alive {
 			if p == me || !r.alive[p] || suspects[p] {
 				continue
+			}
+			if r.sc.tr != nil {
+				// The clock-sync extension is per-receiver (the echoed delta
+				// belongs to one pairwise link), so traced heartbeats are
+				// re-encoded per peer; the tracing-off path keeps the single
+				// shared encoding above.
+				m.HasTrace = true
+				m.DeltaNS = r.sc.tr.HBDelta(p)
+				m.SendNS = r.sc.tr.Now()
+				payload = encodeHb(m)
 			}
 			if err := r.ep.Send(p, tag, payload); err != nil {
 				return err
@@ -806,6 +820,9 @@ func (r *spmdRun) heartbeat(iter int) (newDead, joins []int, err error) {
 			m, err := decodeHb(payload)
 			if err != nil {
 				return err
+			}
+			if m.HasTrace && r.sc.tr != nil {
+				r.sc.tr.ObserveHeartbeat(p, m.SendNS, m.DeltaNS)
 			}
 			if round == 1 {
 				ckpts = append(ckpts, m.Ckpt)
@@ -852,12 +869,13 @@ func (r *spmdRun) heartbeat(iter int) (newDead, joins []int, err error) {
 		}
 		r.stable = stable
 		if r.strag != nil {
-			for _, tr := range r.strag.Observe(perCell, r.alive) {
-				if tr.To > tr.From {
+			for _, trans := range r.strag.Observe(perCell, r.alive) {
+				if trans.To > trans.From {
 					r.res.StragglerDemotions++
 				} else {
 					r.res.StragglerPromotions++
 				}
+				r.sc.tr.Verdict(trans.Rank, trans.To.String())
 			}
 		}
 		joins = r.joinList()
@@ -1021,6 +1039,8 @@ func (r *spmdRun) rejoin() (*welcomeMsg, error) {
 func (r *spmdRun) repartitionNow(iter int) error {
 	cfg, k := r.cfg, r.cfg.Kernel
 	psp := r.sc.om.span(obs.PhasePartition)
+	r.sc.tr.SetPos(r.epoch, iter)
+	ptr := r.sc.tr.Span(trace.PhasePartition)
 	var newAssign *partition.Assignment
 	var err error
 	if h, ok := cfg.Partitioner.(*partition.Hierarchical); ok && !cfg.CentralPartition && r.ep.Size() > 1 {
@@ -1031,6 +1051,7 @@ func (r *spmdRun) repartitionNow(iter int) error {
 		newAssign, err = r.partitionEligible(iter)
 	}
 	if err != nil {
+		ptr.End()
 		psp.End()
 		return err
 	}
@@ -1041,6 +1062,7 @@ func (r *spmdRun) repartitionNow(iter int) error {
 		newAssign = partition.RemapOwners(r.assign.Assignment, newAssign)
 	}
 	newView := newAsnView(newAssign, r.me())
+	ptr.End()
 	psp.End()
 	r.patches, err = redistribute(r.ep, r.assign, newView, r.patches, k, iter, r.res, r.prefix(), cfg.PerPairExchange, cfg.CentralPlans, &r.sc)
 	if err != nil {
@@ -1105,6 +1127,7 @@ func (r *spmdRun) writeCheckpoint(iter int) error {
 	// The checkpoint span covers the synchronous cut: cloning always, the
 	// shard write too when SyncCheckpoint blocks on it.
 	ksp := r.sc.om.span(obs.PhaseCheckpoint)
+	ktr := r.sc.tr.Span(trace.PhaseCheckpoint)
 	clones := make(map[geom.Box]*amr.Patch, len(r.patches))
 	for b, p := range r.patches {
 		clones[b] = p.Clone()
@@ -1115,13 +1138,16 @@ func (r *spmdRun) writeCheckpoint(iter int) error {
 	r.res.Checkpoints++
 	if r.cfg.FT.SyncCheckpoint {
 		if err := checkpoint.SaveShard(dir, sh); err != nil {
+			ktr.End()
 			ksp.End()
 			return err
 		}
 		r.setDurable(iter)
+		ktr.End()
 		ksp.End()
 		return r.pruneShards(stable)
 	}
+	ktr.End()
 	ksp.End()
 	r.ckptWG.Add(1)
 	go func() {
@@ -1174,6 +1200,7 @@ func (r *spmdRun) durableCkpt() int {
 func (r *spmdRun) step(iter int) error {
 	cfg, k := r.cfg, r.cfg.Kernel
 	r.sc.om.setIter(iter)
+	r.sc.tr.SetPos(r.epoch, iter)
 	if cfg.RepartEvery > 0 && iter > 0 && iter%cfg.RepartEvery == 0 && iter != r.lastPart {
 		if err := r.repartitionNow(iter); err != nil {
 			return err
@@ -1191,7 +1218,9 @@ func (r *spmdRun) step(iter int) error {
 			}
 		}
 		var err error
+		dtr := r.sc.tr.Span(trace.PhaseDtWait)
 		dt, err = r.allReduceMin(iter, local)
+		dtr.End()
 		if err != nil {
 			return err
 		}
@@ -1201,6 +1230,7 @@ func (r *spmdRun) step(iter int) error {
 	}
 	var cells int64
 	csp := r.sc.om.span(obs.PhaseCompute)
+	ctr := r.sc.tr.Span(trace.PhaseCompute)
 	t0 := time.Now()
 	for _, b := range r.plan.interior {
 		stepPatch(k, cfg.BaseGrid, r.patches, r.spares, b, dt)
@@ -1208,11 +1238,13 @@ func (r *spmdRun) step(iter int) error {
 		cells += b.Cells()
 	}
 	computeDur := time.Since(t0)
+	ctr.End()
 	csp.End()
 	if err := r.plan.finishRecvs(r.ep, r.patches, r.res); err != nil {
 		return err
 	}
 	bsp := r.sc.om.span(obs.PhaseCompute)
+	btr := r.sc.tr.Span(trace.PhaseAdvance)
 	t1 := time.Now()
 	for _, b := range r.plan.boundary {
 		stepPatch(k, cfg.BaseGrid, r.patches, r.spares, b, dt)
@@ -1220,6 +1252,7 @@ func (r *spmdRun) step(iter int) error {
 		cells += b.Cells()
 	}
 	computeDur += time.Since(t1)
+	btr.End()
 	bsp.End()
 	// Injected gray failure: dilate this iteration's compute proportionally
 	// to the measured work, so the rank's per-cell time reads Factor× its

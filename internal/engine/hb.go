@@ -21,7 +21,23 @@ type hbMsg struct {
 	StepPS int64
 	Dead   []int
 	Join   []int
+
+	// Trace extension (versioned: bit 31 of the nDead word). When HasTrace
+	// is set the payload carries the sender's clock at send time and the
+	// last one-way delta (receiver clock minus sender stamp, ns) it observed
+	// from this heartbeat's receiver — the two halves of the NTP-style
+	// pairwise clock-offset estimate. DeltaNS = 0 means no sample yet.
+	HasTrace bool
+	SendNS   int64
+	DeltaNS  int64
 }
+
+// hbTraced flags the trace extension in the nDead length word; rank-list
+// lengths are capped at hbMaxRanks (1<<20), far below bit 31.
+const hbTraced = uint32(1) << 31
+
+// hbTraceSize is the appended extension: u64 sendNS + u64 deltaNS.
+const hbTraceSize = 8 + 8
 
 // hbMaxRanks bounds the rank lists a decoded heartbeat may carry; real
 // groups are orders of magnitude smaller, and the bound caps what a
@@ -33,10 +49,18 @@ const hbHeader = 8 + 8 + 4 + 4
 
 // encodeHb serializes m. Rank entries are u32; negative ranks never occur.
 func encodeHb(m hbMsg) []byte {
-	out := make([]byte, hbHeader+4*(len(m.Dead)+len(m.Join)))
+	size := hbHeader + 4*(len(m.Dead)+len(m.Join))
+	if m.HasTrace {
+		size += hbTraceSize
+	}
+	out := make([]byte, size)
 	binary.LittleEndian.PutUint64(out[0:], uint64(m.Ckpt))
 	binary.LittleEndian.PutUint64(out[8:], uint64(m.StepPS))
-	binary.LittleEndian.PutUint32(out[16:], uint32(len(m.Dead)))
+	nDead := uint32(len(m.Dead))
+	if m.HasTrace {
+		nDead |= hbTraced
+	}
+	binary.LittleEndian.PutUint32(out[16:], nDead)
 	binary.LittleEndian.PutUint32(out[20:], uint32(len(m.Join)))
 	off := hbHeader
 	for _, r := range m.Dead {
@@ -46,6 +70,10 @@ func encodeHb(m hbMsg) []byte {
 	for _, r := range m.Join {
 		binary.LittleEndian.PutUint32(out[off:], uint32(r))
 		off += 4
+	}
+	if m.HasTrace {
+		binary.LittleEndian.PutUint64(out[off:], uint64(m.SendNS))
+		binary.LittleEndian.PutUint64(out[off+8:], uint64(m.DeltaNS))
 	}
 	return out
 }
@@ -59,16 +87,25 @@ func decodeHb(b []byte) (hbMsg, error) {
 	}
 	ckpt := binary.LittleEndian.Uint64(b[0:])
 	step := binary.LittleEndian.Uint64(b[8:])
-	nDead := binary.LittleEndian.Uint32(b[16:])
+	nDeadWord := binary.LittleEndian.Uint32(b[16:])
 	nJoin := binary.LittleEndian.Uint32(b[20:])
+	traced := nDeadWord&hbTraced != 0
+	nDead := nDeadWord &^ hbTraced
 	if nDead > hbMaxRanks || nJoin > hbMaxRanks {
 		return hbMsg{}, fmt.Errorf("%w: heartbeat declares %d+%d ranks", transport.ErrMalformed, nDead, nJoin)
 	}
 	want := hbHeader + 4*(int(nDead)+int(nJoin))
+	if traced {
+		want += hbTraceSize
+	}
 	if len(b) != want {
 		return hbMsg{}, fmt.Errorf("%w: heartbeat %d bytes, want %d", transport.ErrMalformed, len(b), want)
 	}
-	m := hbMsg{Ckpt: int(int64(ckpt)), StepPS: int64(step)}
+	m := hbMsg{Ckpt: int(int64(ckpt)), StepPS: int64(step), HasTrace: traced}
+	if traced {
+		m.SendNS = int64(binary.LittleEndian.Uint64(b[want-hbTraceSize:]))
+		m.DeltaNS = int64(binary.LittleEndian.Uint64(b[want-8:]))
+	}
 	if m.Ckpt < 0 || m.StepPS < 0 {
 		return hbMsg{}, fmt.Errorf("%w: negative heartbeat counters", transport.ErrMalformed)
 	}

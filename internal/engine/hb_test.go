@@ -15,6 +15,8 @@ func TestHbCodecRoundTrip(t *testing.T) {
 		{Ckpt: 0, StepPS: 1, Dead: []int{2}},
 		{Ckpt: 99, StepPS: 1 << 40, Dead: []int{0, 3, 7}, Join: []int{5}},
 		{Join: []int{1, 2, 3, 4}},
+		{HasTrace: true, SendNS: 1234567890, DeltaNS: -42},
+		{Ckpt: 7, StepPS: 9, Dead: []int{1}, Join: []int{2, 3}, HasTrace: true, SendNS: 1, DeltaNS: 0},
 	}
 	for _, m := range cases {
 		got, err := decodeHb(encodeHb(m))
@@ -25,16 +27,29 @@ func TestHbCodecRoundTrip(t *testing.T) {
 			!reflect.DeepEqual(got.Dead, m.Dead) || !reflect.DeepEqual(got.Join, m.Join) {
 			t.Errorf("round trip %+v -> %+v", m, got)
 		}
+		if got.HasTrace != m.HasTrace || got.SendNS != m.SendNS || got.DeltaNS != m.DeltaNS {
+			t.Errorf("trace extension round trip %+v -> %+v", m, got)
+		}
+	}
+	// The extension costs nothing when off: traced and untraced encodings of
+	// the same message differ by exactly the 16 extension bytes.
+	base := hbMsg{Ckpt: 5, StepPS: 11, Dead: []int{2}}
+	traced := base
+	traced.HasTrace = true
+	if d := len(encodeHb(traced)) - len(encodeHb(base)); d != hbTraceSize {
+		t.Errorf("trace extension adds %d bytes, want %d", d, hbTraceSize)
 	}
 }
 
 func TestHbDecodeMalformed(t *testing.T) {
 	good := encodeHb(hbMsg{Ckpt: 3, StepPS: 77, Dead: []int{1}, Join: []int{2}})
+	tracedGood := encodeHb(hbMsg{Ckpt: 3, HasTrace: true, SendNS: 9})
 	cases := map[string][]byte{
 		"empty":       nil,
 		"short":       good[:hbHeader-1],
 		"truncated":   good[:len(good)-1],
 		"trailing":    append(append([]byte(nil), good...), 0),
+		"tracedCut":   tracedGood[:len(tracedGood)-hbTraceSize+3],
 		"hugeCount":   {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
 		"negCkpt":     {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
 		"hugeRankVal": append(good[:hbHeader], 0xff, 0xff, 0xff, 0xff, 2, 0, 0, 0),
@@ -53,6 +68,7 @@ func FuzzHbMsg(f *testing.F) {
 	f.Add([]byte(nil))
 	f.Add(encodeHb(hbMsg{Ckpt: 8, StepPS: 1234, Dead: []int{1, 2}, Join: []int{3}}))
 	f.Add(encodeHb(hbMsg{}))
+	f.Add(encodeHb(hbMsg{Ckpt: 2, HasTrace: true, SendNS: 77, DeltaNS: -3}))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		m, err := decodeHb(b)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"samrpart/internal/geom"
 	"samrpart/internal/monitor"
 	"samrpart/internal/obs"
+	"samrpart/internal/obs/trace"
 	"samrpart/internal/parallel"
 	"samrpart/internal/partition"
 	"samrpart/internal/solver"
@@ -109,6 +110,13 @@ type SPMDConfig struct {
 	// Nil disables observability; the run is then bit-identical to an
 	// uninstrumented one.
 	Obs *obs.Runtime
+	// Trace, when set, records the distributed trace: per-rank spans tagged
+	// (rank, epoch, iter, phase), message-level send/recv records with a
+	// trace context piggybacked on coalesced frames and heartbeats, and
+	// pairwise clock-offset estimates from heartbeat RTTs. Nil disables
+	// tracing; the simulation output is bit-identical either way (the
+	// context only extends wire headers, never the applied payload).
+	Trace *trace.Log
 }
 
 // SPMDResult reports one rank's outcome.
@@ -373,12 +381,15 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 	// carries the rank's observability handles into the shared paths.
 	var sc commScratch
 	sc.om = newSPMDObs(cfg.Obs, ep.Rank())
+	sc.tr = cfg.Trace.Recorder(ep.Rank())
 	sc.workers = cfg.Workers
 	// --- Initial partition (computed identically on every rank; tiles and
 	// capacities are deterministic, so no broadcast is strictly needed,
 	// but rank 0 broadcasts to guarantee agreement).
 	psp := sc.om.span(obs.PhasePartition)
+	tsp := sc.tr.Span(trace.PhasePartition)
 	assign, err := cfg.partitionAt(ep, 0, nil, res)
+	tsp.End()
 	psp.End()
 	if err != nil {
 		return nil, err
@@ -398,6 +409,7 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 	spares := map[geom.Box]*amr.Patch{}
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		sc.om.setIter(iter)
+		sc.tr.SetPos(0, iter)
 		// Injected crash: this rank goes silent at the iteration boundary.
 		if cfg.Fault.hits(ep.Rank(), iter) || cfg.Faults.CrashAt(ep.Rank(), iter) {
 			if err := killEndpoint(ep); err != nil {
@@ -409,7 +421,9 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 		// Repartition on schedule.
 		if cfg.RepartEvery > 0 && iter > 0 && iter%cfg.RepartEvery == 0 {
 			psp := sc.om.span(obs.PhasePartition)
+			tsp := sc.tr.Span(trace.PhasePartition)
 			newAssign, err := cfg.partitionAt(ep, iter, assign, res)
+			tsp.End()
 			psp.End()
 			if err != nil {
 				return nil, err
@@ -439,7 +453,9 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 					local = d
 				}
 			}
+			dsp := sc.tr.Span(trace.PhaseDtWait)
 			dt, err = transport.AllReduceFloat64(ep, local, transport.ReduceMin)
+			dsp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -450,10 +466,12 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 		// Overlap: advance interior patches while remote halos are in
 		// flight.
 		csp := sc.om.span(obs.PhaseCompute)
+		ctr := sc.tr.Span(trace.PhaseCompute)
 		for _, b := range plan.interior {
 			stepPatch(k, cfg.BaseGrid, patches, spares, b, dt)
 			res.InteriorSteps++
 		}
+		ctr.End()
 		csp.End()
 		// Ghost exchange, phase 2: block on the remote regions, then
 		// finish the boundary patches.
@@ -461,10 +479,12 @@ func RunSPMDRank(ep transport.Endpoint, cfg SPMDConfig) (*SPMDResult, error) {
 			return nil, err
 		}
 		bsp := sc.om.span(obs.PhaseCompute)
+		btr := sc.tr.Span(trace.PhaseAdvance)
 		for _, b := range plan.boundary {
 			stepPatch(k, cfg.BaseGrid, patches, spares, b, dt)
 			res.BoundarySteps++
 		}
+		btr.End()
 		bsp.End()
 		sc.om.sync(res)
 	}
@@ -729,6 +749,38 @@ type commScratch struct {
 	// the scratch because the scratch already threads through every shared
 	// communication path of both the plain and the fault-tolerant runner.
 	om *spmdObs
+
+	// tr is the rank's distributed-trace recorder (nil when tracing is off);
+	// like om it rides the scratch so postSends/finishRecvs/redistribute see
+	// it from both runners. tcbuf is the pooled wire context the frame
+	// packers point AppendFrameCtx at, keeping the traced send path
+	// allocation-free.
+	tr    *trace.Recorder
+	tcbuf transport.TraceCtx
+}
+
+// frameCtx returns the wire trace context for the rank's current (epoch,
+// iter) — SendNS is stamped later, at the actual send instant, via
+// transport.StampTraceCtx — or nil when tracing is off. Not safe for
+// concurrent calls; parallel packers call it once and share the result.
+func (sc *commScratch) frameCtx() *transport.TraceCtx {
+	if sc.tr == nil {
+		return nil
+	}
+	e, i := sc.tr.Pos()
+	sc.tcbuf = transport.TraceCtx{Iter: i, Epoch: e}
+	return &sc.tcbuf
+}
+
+// traceStamp patches the frame's SendNS to now and returns the stamp (0 when
+// tracing is off). Must run before ep.Send: transports may copy the buffer.
+func (sc *commScratch) traceStamp(frame []byte) int64 {
+	if sc.tr == nil {
+		return 0
+	}
+	ns := sc.tr.Now()
+	transport.StampTraceCtx(frame, ns)
+	return ns
 }
 
 // spanScratch returns n pooled per-span buffer sets, growing the pools on
@@ -1062,6 +1114,7 @@ func (pl *ghostPlan) postSends(ep transport.Endpoint, patches map[geom.Box]*amr.
 			res.BytesSent += int64(len(sc.bytes))
 			res.MsgsSent++
 			sc.om.peerSent(s.to, len(sc.bytes))
+			sc.tr.Send(s.to, trace.KindHalo, len(sc.bytes), 0)
 		}
 	} else if w := sc.workers; w > 1 && len(pl.sendPeers) > 1 {
 		// Pack every peer's frame concurrently into pooled per-span buffers,
@@ -1069,28 +1122,34 @@ func (pl *ghostPlan) postSends(ep transport.Endpoint, patches map[geom.Box]*amr.
 		// wire order to the serial packer.
 		spans := pl.sendPeers
 		sc.spanScratch(len(spans))
+		tc := sc.frameCtx()
 		parallel.For(w, len(spans), func(si int) {
 			span := spans[si]
+			ptr := sc.tr.Span(trace.PhasePack)
 			fl, rg := sc.spanFloats[si][:0], sc.spanRegions[si][:0]
 			for _, s := range pl.sends[span.lo:span.hi] {
 				n0 := len(fl)
 				fl = extractAppend(fl, patches[s.src], s.region)
 				rg = append(rg, frameRegion(s.dstIdx, s.srcIdx, s.region, len(fl)-n0))
 			}
-			sc.spanBytes[si] = transport.AppendFrame(sc.spanBytes[si][:0], rg, fl)
+			sc.spanBytes[si] = transport.AppendFrameCtx(sc.spanBytes[si][:0], rg, fl, tc)
 			sc.spanFloats[si], sc.spanRegions[si] = fl, rg
+			ptr.End()
 		})
 		for si, span := range spans {
 			b := sc.spanBytes[si]
+			ns := sc.traceStamp(b)
 			if err := ep.Send(span.rank, span.tag, b); err != nil {
 				return err
 			}
 			res.BytesSent += int64(len(b))
 			res.MsgsSent++
 			sc.om.peerSent(span.rank, len(b))
+			sc.tr.Send(span.rank, trace.KindHalo, len(b), ns)
 		}
 	} else {
 		for _, span := range pl.sendPeers {
+			ptr := sc.tr.Span(trace.PhasePack)
 			sc.floats = sc.floats[:0]
 			sc.regions = sc.regions[:0]
 			for _, s := range pl.sends[span.lo:span.hi] {
@@ -1098,13 +1157,16 @@ func (pl *ghostPlan) postSends(ep transport.Endpoint, patches map[geom.Box]*amr.
 				sc.floats = extractAppend(sc.floats, patches[s.src], s.region)
 				sc.regions = append(sc.regions, frameRegion(s.dstIdx, s.srcIdx, s.region, len(sc.floats)-n0))
 			}
-			sc.bytes = transport.AppendFrame(sc.bytes[:0], sc.regions, sc.floats)
+			sc.bytes = transport.AppendFrameCtx(sc.bytes[:0], sc.regions, sc.floats, sc.frameCtx())
+			ptr.End()
+			ns := sc.traceStamp(sc.bytes)
 			if err := ep.Send(span.rank, span.tag, sc.bytes); err != nil {
 				return err
 			}
 			res.BytesSent += int64(len(sc.bytes))
 			res.MsgsSent++
 			sc.om.peerSent(span.rank, len(sc.bytes))
+			sc.tr.Send(span.rank, trace.KindHalo, len(sc.bytes), ns)
 		}
 	}
 	for _, pair := range pl.locals {
@@ -1124,10 +1186,13 @@ func (pl *ghostPlan) finishRecvs(ep transport.Endpoint, patches map[geom.Box]*am
 	defer func() { wsp.EndBytes(haloBytes) }()
 	if pl.perPair {
 		for _, r := range pl.recvs {
+			wtr := sc.tr.WaitSpan(trace.PhaseHaloWait, r.from)
 			payload, err := ep.Recv(r.from, r.tag)
 			if err != nil {
 				return err
 			}
+			wtr.End()
+			sc.tr.RecvUntraced(r.from, trace.KindHalo, len(payload))
 			res.MsgsRecvd++
 			haloBytes += int64(len(payload))
 			sc.rfloats, err = transport.DecodeFloats(payload, sc.rfloats)
@@ -1141,16 +1206,29 @@ func (pl *ghostPlan) finishRecvs(ep transport.Endpoint, patches map[geom.Box]*am
 		return nil
 	}
 	for _, span := range pl.recvPeers {
+		wtr := sc.tr.WaitSpan(trace.PhaseHaloWait, span.rank)
 		payload, err := ep.Recv(span.rank, span.tag)
 		if err != nil {
 			return err
 		}
 		res.MsgsRecvd++
 		haloBytes += int64(len(payload))
-		sc.rregions, sc.rfloats, err = transport.DecodeFrame(payload, sc.rregions, sc.rfloats)
+		var tc transport.TraceCtx
+		var traced bool
+		sc.rregions, sc.rfloats, tc, traced, err = transport.DecodeFrameCtx(payload, sc.rregions, sc.rfloats)
 		if err != nil {
 			return err
 		}
+		if sc.tr != nil {
+			if traced {
+				sc.tr.Recv(span.rank, trace.KindHalo, len(payload), tc.Epoch, tc.Iter, tc.SendNS)
+				wtr.EndGated(tc.SendNS)
+			} else {
+				sc.tr.RecvUntraced(span.rank, trace.KindHalo, len(payload))
+				wtr.End()
+			}
+		}
+		utr := sc.tr.Span(trace.PhaseUnpack)
 		if len(sc.rregions) != span.hi-span.lo {
 			return fmt.Errorf("engine: rank %d sent %d halo regions, plan expects %d",
 				span.rank, len(sc.rregions), span.hi-span.lo)
@@ -1188,6 +1266,7 @@ func (pl *ghostPlan) finishRecvs(ep transport.Endpoint, patches map[geom.Box]*am
 					return err
 				}
 			}
+			utr.End()
 			continue
 		}
 		off := 0
@@ -1202,6 +1281,7 @@ func (pl *ghostPlan) finishRecvs(ep transport.Endpoint, patches map[geom.Box]*am
 			}
 			off += n
 		}
+		utr.End()
 	}
 	return nil
 }
@@ -1360,16 +1440,19 @@ func redistribute(ep transport.Endpoint, old, next *asnView, patches map[geom.Bo
 	}
 	me := ep.Rank()
 	psp := sc.om.span(obs.PhasePlan)
+	ptr := sc.tr.Span(trace.PhasePlan)
 	var mp migPlan
 	if central {
 		mp = centralMigPlans(old.Assignment, next.Assignment, ep.Size())[me]
 	} else {
 		mp = buildMigPlan(old, next, me, sc)
 	}
+	ptr.End()
 	psp.End()
 	msp := sc.om.span(obs.PhaseMigrate)
 	mig0 := res.MigratedBytes
 	defer func() { msp.EndBytes(res.MigratedBytes - mig0) }()
+	mtr := sc.tr.Span(trace.PhaseMigrate)
 	out := make(map[geom.Box]*amr.Patch, len(patches))
 	bytesPerCell := int64(k.NumFields()) * 8
 	for _, m := range mp.retained {
@@ -1395,6 +1478,7 @@ func redistribute(ep transport.Endpoint, old, next *asnView, patches map[geom.Bo
 			out[m.dst] = amr.NewPatch(m.dst, k.Ghost(), k.NumFields())
 		}
 	}
+	mtr.End()
 	sends, recvs := mp.sends, mp.recvs
 	if perPair {
 		for _, m := range sends {
@@ -1408,13 +1492,17 @@ func redistribute(ep transport.Endpoint, old, next *asnView, patches map[geom.Bo
 			res.MsgsSent++
 			res.MigratedBytes += m.region.Cells() * bytesPerCell
 			sc.om.peerSent(m.peer, len(sc.bytes))
+			sc.tr.Send(m.peer, trace.KindMig, len(sc.bytes), 0)
 		}
 		for _, m := range recvs {
 			tag := fmt.Sprintf("%sr%d-%d-%d", prefix, iter, m.dstIdx, m.srcIdx)
+			wtr := sc.tr.WaitSpan(trace.PhaseMigWait, m.peer)
 			payload, err := ep.Recv(m.peer, tag)
 			if err != nil {
 				return nil, err
 			}
+			wtr.End()
+			sc.tr.RecvUntraced(m.peer, trace.KindMig, len(payload))
 			res.MsgsRecvd++
 			sc.rfloats, err = transport.DecodeFloats(payload, sc.rfloats)
 			if err != nil {
@@ -1432,6 +1520,7 @@ func redistribute(ep transport.Endpoint, old, next *asnView, patches map[geom.Bo
 		for hi < len(sends) && sends[hi].peer == sends[lo].peer {
 			hi++
 		}
+		ktr := sc.tr.Span(trace.PhasePack)
 		sc.floats = sc.floats[:0]
 		sc.regions = sc.regions[:0]
 		for _, m := range sends[lo:hi] {
@@ -1440,13 +1529,16 @@ func redistribute(ep transport.Endpoint, old, next *asnView, patches map[geom.Bo
 			sc.regions = append(sc.regions, frameRegion(m.dstIdx, m.srcIdx, m.region, len(sc.floats)-n0))
 			res.MigratedBytes += m.region.Cells() * bytesPerCell
 		}
-		sc.bytes = transport.AppendFrame(sc.bytes[:0], sc.regions, sc.floats)
+		sc.bytes = transport.AppendFrameCtx(sc.bytes[:0], sc.regions, sc.floats, sc.frameCtx())
+		ktr.End()
+		ns := sc.traceStamp(sc.bytes)
 		if err := ep.Send(sends[lo].peer, tag, sc.bytes); err != nil {
 			return nil, err
 		}
 		res.BytesSent += int64(len(sc.bytes))
 		res.MsgsSent++
 		sc.om.peerSent(sends[lo].peer, len(sc.bytes))
+		sc.tr.Send(sends[lo].peer, trace.KindMig, len(sc.bytes), ns)
 		lo = hi
 	}
 	for lo := 0; lo < len(recvs); {
@@ -1454,19 +1546,32 @@ func redistribute(ep transport.Endpoint, old, next *asnView, patches map[geom.Bo
 		for hi < len(recvs) && recvs[hi].peer == recvs[lo].peer {
 			hi++
 		}
+		wtr := sc.tr.WaitSpan(trace.PhaseMigWait, recvs[lo].peer)
 		payload, err := ep.Recv(recvs[lo].peer, tag)
 		if err != nil {
 			return nil, err
 		}
 		res.MsgsRecvd++
-		sc.rregions, sc.rfloats, err = transport.DecodeFrame(payload, sc.rregions, sc.rfloats)
+		var tc transport.TraceCtx
+		var traced bool
+		sc.rregions, sc.rfloats, tc, traced, err = transport.DecodeFrameCtx(payload, sc.rregions, sc.rfloats)
 		if err != nil {
 			return nil, err
+		}
+		if sc.tr != nil {
+			if traced {
+				sc.tr.Recv(recvs[lo].peer, trace.KindMig, len(payload), tc.Epoch, tc.Iter, tc.SendNS)
+				wtr.EndGated(tc.SendNS)
+			} else {
+				sc.tr.RecvUntraced(recvs[lo].peer, trace.KindMig, len(payload))
+				wtr.End()
+			}
 		}
 		if len(sc.rregions) != hi-lo {
 			return nil, fmt.Errorf("engine: rank %d sent %d migration regions, plan expects %d",
 				recvs[lo].peer, len(sc.rregions), hi-lo)
 		}
+		utr := sc.tr.Span(trace.PhaseUnpack)
 		off := 0
 		for i, m := range recvs[lo:hi] {
 			fr := sc.rregions[i]
@@ -1479,6 +1584,7 @@ func redistribute(ep transport.Endpoint, old, next *asnView, patches map[geom.Bo
 			}
 			off += n
 		}
+		utr.End()
 		lo = hi
 	}
 	return out, nil

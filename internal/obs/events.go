@@ -140,3 +140,28 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 	}
 	return out, nil
 }
+
+// ReadEventsLenient decodes a JSONL event stream, skipping malformed lines
+// instead of failing: a run killed mid-write leaves a truncated final line,
+// and the report tools should analyze the surviving records while telling
+// the user how many casualties there were. Only I/O errors are returned.
+func ReadEventsLenient(r io.Reader) (evs []Event, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var ev Event
+		if json.Unmarshal(text, &ev) != nil {
+			skipped++
+			continue
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("obs: reading events: %w", err)
+	}
+	return evs, skipped, nil
+}

@@ -64,6 +64,20 @@ func TestReadEventsMalformed(t *testing.T) {
 	}
 }
 
+func TestReadEventsLenient(t *testing.T) {
+	in := "{\"run\":\"r\",\"phase\":\"compute\"}\nnot json\n\n{\"run\":\"r\",\"phase\":\"advance\"}\n{\"run\":\"r\",\"t1"
+	evs, skipped, err := ReadEventsLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2 (garbage + truncated tail)", skipped)
+	}
+	if len(evs) != 2 || evs[0].Phase != "compute" || evs[1].Phase != "advance" {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
 func TestRunIDDeterministic(t *testing.T) {
 	if RunID(42) != RunID(42) {
 		t.Error("same seed must give same run ID")

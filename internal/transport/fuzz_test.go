@@ -29,13 +29,22 @@ func FuzzDecodeFrame(f *testing.F) {
 	// The same frame truncated mid-payload.
 	f.Add(ok[:len(ok)-5])
 
+	// A traced frame (version bit + 16-byte trace context).
+	f.Add(AppendFrameCtx(nil,
+		[]FrameRegion{{Dst: 1, Src: 2, Hi: [3]int32{1, 1, 0}, Count: 4}},
+		[]float64{1, 2, 3, 4}, &TraceCtx{Iter: 7, Epoch: 1, SendNS: 99}))
+
 	f.Fuzz(func(t *testing.T, payload []byte) {
-		regions, vals, err := DecodeFrame(payload, nil, nil)
+		regions, vals, tc, traced, err := DecodeFrameCtx(payload, nil, nil)
 		if err != nil {
 			if !errors.Is(err, ErrMalformed) {
-				t.Fatalf("DecodeFrame error does not wrap ErrMalformed: %v", err)
+				t.Fatalf("DecodeFrameCtx error does not wrap ErrMalformed: %v", err)
 			}
 			return
+		}
+		// DecodeFrame (the legacy entry point) must accept the same payload.
+		if _, _, err2 := DecodeFrame(payload, nil, nil); err2 != nil {
+			t.Fatalf("DecodeFrameCtx accepted but DecodeFrame rejected: %v", err2)
 		}
 		// Allocation cap: the decoded slices cannot exceed what the payload
 		// could have carried.
@@ -45,10 +54,43 @@ func FuzzDecodeFrame(f *testing.F) {
 		if len(vals)*8 > len(payload) {
 			t.Fatalf("decoded %d floats from a %d-byte payload", len(vals), len(payload))
 		}
-		// Round-trip: re-encoding must reproduce the accepted payload.
-		re := AppendFrame(nil, regions, vals)
+		// Round-trip: re-encoding (with the context iff one was carried) must
+		// reproduce the accepted payload.
+		var ctx *TraceCtx
+		if traced {
+			ctx = &tc
+		}
+		re := AppendFrameCtx(nil, regions, vals, ctx)
 		if string(re) != string(payload) {
 			t.Fatalf("accepted payload does not round-trip: %d bytes in, %d bytes out", len(payload), len(re))
+		}
+	})
+}
+
+// FuzzTraceCtx holds the trace-context codec to the frame decoder's
+// standard: any length other than exactly 16 bytes wraps ErrMalformed, and
+// every accepted input round-trips bit-exactly through AppendTraceCtx.
+func FuzzTraceCtx(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 15))
+	f.Add(make([]byte, 17))
+	f.Add(AppendTraceCtx(nil, TraceCtx{Iter: 120, Epoch: 3, SendNS: -1}))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		tc, err := DecodeTraceCtx(payload)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("DecodeTraceCtx error does not wrap ErrMalformed: %v", err)
+			}
+			if len(payload) == traceCtxSize {
+				t.Fatalf("rejected a %d-byte payload: %v", traceCtxSize, err)
+			}
+			return
+		}
+		if len(payload) != traceCtxSize {
+			t.Fatalf("accepted %d bytes, want exactly %d", len(payload), traceCtxSize)
+		}
+		if re := AppendTraceCtx(nil, tc); string(re) != string(payload) {
+			t.Fatalf("trace context does not round-trip")
 		}
 	})
 }
